@@ -1,0 +1,200 @@
+//! Baseline [1]: Salz & Winters' real-embedding generator.
+//!
+//! Salz & Winters (paper ref. [1]) generate `N` correlated complex Gaussian
+//! fades by coloring a vector of `2N` **real** Gaussian variables with a
+//! square root of the `2N × 2N` real covariance matrix
+//! `[[Rxx, Rxy], [Ryx, Ryy]]` assembled from the four covariance blocks of
+//! Eq. (1)–(2). The square root is taken through the symmetric
+//! eigendecomposition.
+//!
+//! Shortcomings reproduced here (and called out in the paper's Sec. 1):
+//!
+//! * only **equal-power** envelopes are supported (the derivation assumes a
+//!   common `σ²`),
+//! * if the desired covariance matrix is **not positive semi-definite**, the
+//!   square root would be complex and the method fails — this implementation
+//!   reports [`BaselineError::NotPositiveSemidefinite`] instead of silently
+//!   producing a wrong (complex) coloring matrix.
+
+use corrfade_linalg::{c64, symmetric_eigen, CMatrix, Complex64, RMatrix};
+use corrfade_randn::{NormalSampler, RandomStream};
+
+use crate::error::BaselineError;
+
+/// Relative tolerance below which a negative eigenvalue of the real
+/// embedding is attributed to round-off rather than genuine indefiniteness.
+const PSD_TOL: f64 = 1e-10;
+
+/// The Salz–Winters real-embedding generator (baseline [1]).
+#[derive(Debug, Clone)]
+pub struct SalzWintersGenerator {
+    n: usize,
+    /// Real coloring matrix of the 2N×2N embedding.
+    coloring: RMatrix,
+    rng: RandomStream,
+    sampler: NormalSampler,
+}
+
+impl SalzWintersGenerator {
+    /// Builds the generator for a desired complex covariance matrix `K`
+    /// (equal powers on the diagonal).
+    ///
+    /// # Errors
+    /// * [`BaselineError::UnequalPowersUnsupported`] if the diagonal entries
+    ///   differ (the method was derived for equal powers only),
+    /// * [`BaselineError::NotPositiveSemidefinite`] if the embedding has a
+    ///   negative eigenvalue (the real square root does not exist),
+    /// * [`BaselineError::Invalid`] for malformed input.
+    pub fn new(k: &CMatrix, seed: u64) -> Result<Self, BaselineError> {
+        if !k.is_square() || k.rows() == 0 {
+            return Err(BaselineError::Invalid {
+                reason: "covariance matrix must be square and non-empty",
+            });
+        }
+        if !k.is_hermitian(1e-9 * k.max_abs().max(1.0)) {
+            return Err(BaselineError::Invalid {
+                reason: "covariance matrix must be Hermitian",
+            });
+        }
+        let n = k.rows();
+        let p0 = k[(0, 0)].re;
+        for i in 0..n {
+            if (k[(i, i)].re - p0).abs() > 1e-9 * p0.abs().max(1.0) {
+                return Err(BaselineError::UnequalPowersUnsupported {
+                    method: "Salz-Winters [1]",
+                });
+            }
+        }
+
+        // 2N×2N real covariance of (x_1..x_N, y_1..y_N). For a circularly
+        // symmetric complex Gaussian vector with covariance K = A + iB:
+        // Cov(x,x) = Cov(y,y) = A/2, Cov(x,y) = -B/2, Cov(y,x) = B/2.
+        let embedding = k.real_embedding().scale(0.5);
+        let eig = symmetric_eigen(&embedding).map_err(|_| BaselineError::Invalid {
+            reason: "eigendecomposition of the real embedding failed",
+        })?;
+        let lambda_max = eig.eigenvalues.first().copied().unwrap_or(0.0).max(1e-300);
+        if eig.eigenvalues.iter().any(|&l| l < -PSD_TOL * lambda_max) {
+            return Err(BaselineError::NotPositiveSemidefinite {
+                method: "Salz-Winters [1]",
+                min_eigenvalue: *eig
+                    .eigenvalues
+                    .last()
+                    .expect("non-empty eigenvalue list"),
+            });
+        }
+
+        // Real coloring matrix: V·√Λ (clamping round-off negatives to zero).
+        let dim = 2 * n;
+        let mut coloring = RMatrix::zeros(dim, dim);
+        for i in 0..dim {
+            for j in 0..dim {
+                coloring[(i, j)] = eig.eigenvectors[(i, j)] * eig.eigenvalues[j].max(0.0).sqrt();
+            }
+        }
+
+        Ok(Self {
+            n,
+            coloring,
+            rng: RandomStream::new(seed),
+            sampler: NormalSampler::default(),
+        })
+    }
+
+    /// Number of envelopes.
+    pub fn dimension(&self) -> usize {
+        self.n
+    }
+
+    /// Draws one correlated complex Gaussian vector.
+    pub fn sample_gaussian(&mut self) -> Vec<Complex64> {
+        let dim = 2 * self.n;
+        let mut a = vec![0.0f64; dim];
+        self.sampler.fill(&mut self.rng, &mut a, 0.0, 1.0);
+        let c = self.coloring.matvec(&a);
+        (0..self.n).map(|j| c64(c[j], c[j + self.n])).collect()
+    }
+
+    /// Draws one vector of correlated Rayleigh envelopes.
+    pub fn sample_envelopes(&mut self) -> Vec<f64> {
+        self.sample_gaussian().iter().map(|z| z.abs()).collect()
+    }
+
+    /// Draws `count` snapshots of the complex Gaussian vector.
+    pub fn generate_snapshots(&mut self, count: usize) -> Vec<Vec<Complex64>> {
+        (0..count).map(|_| self.sample_gaussian()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corrfade_models::{paper_covariance_matrix_22, paper_covariance_matrix_23};
+    use corrfade_stats::{relative_frobenius_error, sample_covariance};
+
+    #[test]
+    fn reproduces_equal_power_psd_covariance() {
+        for k in [paper_covariance_matrix_22(), paper_covariance_matrix_23()] {
+            let mut g = SalzWintersGenerator::new(&k, 5).unwrap();
+            assert_eq!(g.dimension(), 3);
+            let snaps = g.generate_snapshots(60_000);
+            let khat = sample_covariance(&snaps);
+            let err = relative_frobenius_error(&khat, &k);
+            assert!(err < 0.04, "relative covariance error {err}");
+        }
+    }
+
+    #[test]
+    fn envelopes_are_rayleigh_distributed() {
+        let k = paper_covariance_matrix_23();
+        let mut g = SalzWintersGenerator::new(&k, 9).unwrap();
+        let env: Vec<f64> = (0..20_000).map(|_| g.sample_envelopes()[0]).collect();
+        let sigma = corrfade_stats::rayleigh_scale(1.0);
+        let t = corrfade_stats::ks_test(&env, |r| corrfade_specfun::rayleigh_cdf(r, sigma));
+        assert!(t.passes(0.001), "{t:?}");
+    }
+
+    #[test]
+    fn rejects_unequal_powers() {
+        let k = CMatrix::from_real_slice(2, 2, &[1.0, 0.2, 0.2, 2.0]);
+        assert!(matches!(
+            SalzWintersGenerator::new(&k, 1),
+            Err(BaselineError::UnequalPowersUnsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_psd_covariance() {
+        // The failure mode the paper highlights: a non-PSD target makes the
+        // real square root complex, so the method cannot proceed.
+        let k = CMatrix::from_real_slice(
+            3,
+            3,
+            &[1.0, 0.9, -0.9, 0.9, 1.0, 0.9, -0.9, 0.9, 1.0],
+        );
+        assert!(matches!(
+            SalzWintersGenerator::new(&k, 1),
+            Err(BaselineError::NotPositiveSemidefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(SalzWintersGenerator::new(&CMatrix::zeros(2, 3), 1).is_err());
+        let non_herm = CMatrix::from_rows(&[
+            vec![c64(1.0, 0.0), c64(0.5, 0.0)],
+            vec![c64(0.1, 0.0), c64(1.0, 0.0)],
+        ]);
+        assert!(SalzWintersGenerator::new(&non_herm, 1).is_err());
+    }
+
+    #[test]
+    fn handles_singular_psd_covariance() {
+        // Fully correlated equal-power pair — PSD but singular; the
+        // eigen-based square root still exists.
+        let k = CMatrix::from_real_slice(2, 2, &[1.0, 1.0, 1.0, 1.0]);
+        let mut g = SalzWintersGenerator::new(&k, 3).unwrap();
+        let s = g.sample_gaussian();
+        assert!((s[0] - s[1]).abs() < 1e-9, "fully correlated fades must coincide");
+    }
+}

@@ -1,0 +1,322 @@
+//! Baseline [6]: Sorooshyari & Daut's generator, including its flawed
+//! real-time (Doppler) combination.
+//!
+//! Sorooshyari & Daut handle covariance matrices that are not positive
+//! definite by replacing every non-positive eigenvalue with a small
+//! `ε > 0` and then Cholesky-factorizing the rebuilt matrix. Compared with
+//! the paper's zero-clipping this is (a) a strictly worse Frobenius
+//! approximation, and (b) still at the mercy of Cholesky round-off when the
+//! resulting matrix is near-singular.
+//!
+//! For the real-time scenario, ref. [6] feeds Young–Beaulieu Doppler
+//! generator outputs into its coloring step **assuming unit variance** of
+//! those outputs. In reality the Doppler filter changes the variance to
+//! `σ_g² = 2·σ²_orig/M²·ΣF[k]²` (paper Eq. 19), so the realized covariance is
+//! scaled by `σ_g²` — this is "the main shortcoming" the paper corrects.
+//! [`SorooshyariDautRealtimeGenerator`] reproduces the flawed combination so
+//! experiment E8 can quantify the error.
+
+use corrfade_dsp::{DopplerFilter, IdftRayleighGenerator};
+use corrfade_linalg::{cholesky, hermitian_eigen, CMatrix, Complex64, LinalgError};
+use corrfade_randn::{ComplexGaussian, RandomStream};
+
+use crate::error::BaselineError;
+
+/// The default ε used when rebuilding a non-PSD covariance matrix, matching
+/// the "small positive number" of ref. [6].
+pub const DEFAULT_EPSILON: f64 = 1e-4;
+
+/// Replaces every non-positive eigenvalue of `k` with `epsilon` and rebuilds
+/// the matrix (the ref.-[6] approximation). Returns the rebuilt matrix and
+/// the number of replaced eigenvalues.
+///
+/// # Errors
+/// [`BaselineError::Invalid`] when the matrix is not square/Hermitian.
+pub fn epsilon_psd_forcing(k: &CMatrix, epsilon: f64) -> Result<(CMatrix, usize), BaselineError> {
+    if !k.is_square() || k.rows() == 0 {
+        return Err(BaselineError::Invalid {
+            reason: "covariance matrix must be square and non-empty",
+        });
+    }
+    let eig = hermitian_eigen(k).map_err(|_| BaselineError::Invalid {
+        reason: "covariance matrix must be Hermitian",
+    })?;
+    let replaced = eig.eigenvalues.iter().filter(|&&l| l <= 0.0).count();
+    if replaced == 0 {
+        return Ok((k.clone(), 0));
+    }
+    let adjusted: Vec<f64> = eig
+        .eigenvalues
+        .iter()
+        .map(|&l| if l > 0.0 { l } else { epsilon })
+        .collect();
+    Ok((eig.reconstruct_with(&adjusted), replaced))
+}
+
+/// The Sorooshyari–Daut single-instant generator (baseline [6]): equal-power
+/// envelopes, ε-forced PSD approximation, Cholesky coloring.
+#[derive(Debug, Clone)]
+pub struct SorooshyariDautGenerator {
+    coloring: CMatrix,
+    forced: CMatrix,
+    replaced_eigenvalues: usize,
+    rng: RandomStream,
+    gaussian: ComplexGaussian,
+}
+
+impl SorooshyariDautGenerator {
+    /// Builds the generator with the default ε.
+    pub fn new(k: &CMatrix, seed: u64) -> Result<Self, BaselineError> {
+        Self::with_epsilon(k, DEFAULT_EPSILON, seed)
+    }
+
+    /// Builds the generator with an explicit ε.
+    ///
+    /// # Errors
+    /// Unequal powers are rejected; Cholesky failure on the ε-forced matrix
+    /// (which ref. [6] reports happening in MATLAB for some complex
+    /// covariances) is surfaced as [`BaselineError::CholeskyFailed`].
+    pub fn with_epsilon(k: &CMatrix, epsilon: f64, seed: u64) -> Result<Self, BaselineError> {
+        const METHOD: &str = "Sorooshyari-Daut [6]";
+        if !k.is_square() || k.rows() == 0 {
+            return Err(BaselineError::Invalid {
+                reason: "covariance matrix must be square and non-empty",
+            });
+        }
+        if !k.is_hermitian(1e-9 * k.max_abs().max(1.0)) {
+            return Err(BaselineError::Invalid {
+                reason: "covariance matrix must be Hermitian",
+            });
+        }
+        let p0 = k[(0, 0)].re;
+        for i in 0..k.rows() {
+            if (k[(i, i)].re - p0).abs() > 1e-9 * p0.abs().max(1.0) {
+                return Err(BaselineError::UnequalPowersUnsupported { method: METHOD });
+            }
+        }
+        let (forced, replaced_eigenvalues) = epsilon_psd_forcing(k, epsilon)?;
+        let coloring = match cholesky(&forced) {
+            Ok(l) => l,
+            Err(LinalgError::NotPositiveDefinite { pivot, .. }) => {
+                return Err(BaselineError::CholeskyFailed { method: METHOD, pivot })
+            }
+            Err(_) => {
+                return Err(BaselineError::Invalid {
+                    reason: "Cholesky factorization failed",
+                })
+            }
+        };
+        Ok(Self {
+            coloring,
+            forced,
+            replaced_eigenvalues,
+            rng: RandomStream::new(seed),
+            gaussian: ComplexGaussian::default(),
+        })
+    }
+
+    /// Number of envelopes.
+    pub fn dimension(&self) -> usize {
+        self.coloring.rows()
+    }
+
+    /// The ε-forced covariance the generator actually targets.
+    pub fn forced_covariance(&self) -> &CMatrix {
+        &self.forced
+    }
+
+    /// How many eigenvalues were replaced by ε.
+    pub fn replaced_eigenvalues(&self) -> usize {
+        self.replaced_eigenvalues
+    }
+
+    /// Draws one correlated complex Gaussian vector (unit-variance white
+    /// input, as in ref. [6]).
+    pub fn sample_gaussian(&mut self) -> Vec<Complex64> {
+        let w = self
+            .gaussian
+            .sample_vec(&mut self.rng, self.coloring.rows(), 1.0);
+        self.coloring.matvec(&w)
+    }
+
+    /// Draws one vector of correlated Rayleigh envelopes.
+    pub fn sample_envelopes(&mut self) -> Vec<f64> {
+        self.sample_gaussian().iter().map(|z| z.abs()).collect()
+    }
+
+    /// Draws `count` snapshots.
+    pub fn generate_snapshots(&mut self, count: usize) -> Vec<Vec<Complex64>> {
+        (0..count).map(|_| self.sample_gaussian()).collect()
+    }
+}
+
+/// The flawed real-time combination of ref. [6]: Doppler-filtered sequences
+/// are colored **as if they had unit variance**, ignoring the Eq.-19 variance
+/// change of the Doppler filter.
+#[derive(Debug, Clone)]
+pub struct SorooshyariDautRealtimeGenerator {
+    coloring: CMatrix,
+    idft: IdftRayleighGenerator,
+    rng: RandomStream,
+    n: usize,
+}
+
+impl SorooshyariDautRealtimeGenerator {
+    /// Builds the flawed real-time generator.
+    ///
+    /// # Errors
+    /// Same construction errors as [`SorooshyariDautGenerator`], plus the
+    /// Doppler-filter design errors.
+    pub fn new(
+        k: &CMatrix,
+        idft_size: usize,
+        normalized_doppler: f64,
+        sigma_orig_sq: f64,
+        seed: u64,
+    ) -> Result<Self, BaselineError> {
+        let single = SorooshyariDautGenerator::new(k, seed)?;
+        let filter = DopplerFilter::new(idft_size, normalized_doppler).map_err(|_| {
+            BaselineError::Invalid {
+                reason: "invalid Doppler filter parameters",
+            }
+        })?;
+        let idft = IdftRayleighGenerator::new(filter, sigma_orig_sq).map_err(|_| {
+            BaselineError::Invalid {
+                reason: "invalid Doppler generator variance",
+            }
+        })?;
+        Ok(Self {
+            n: single.dimension(),
+            coloring: single.coloring,
+            idft,
+            rng: RandomStream::new(seed),
+        })
+    }
+
+    /// Number of envelopes.
+    pub fn dimension(&self) -> usize {
+        self.n
+    }
+
+    /// The true output variance of the Doppler generators (Eq. 19) — the
+    /// value this method *should* use but does not.
+    pub fn actual_doppler_variance(&self) -> f64 {
+        self.idft.output_variance()
+    }
+
+    /// Generates one block of `M` time samples per envelope using the flawed
+    /// unit-variance assumption: `Z[l] = L·W[l]` with no `1/σ_g` scaling.
+    pub fn generate_block(&mut self) -> Vec<Vec<Complex64>> {
+        let n = self.n;
+        let m = self.idft.filter().len();
+        let raw: Vec<Vec<Complex64>> = (0..n).map(|_| self.idft.generate(&mut self.rng)).collect();
+        let mut paths = vec![Vec::with_capacity(m); n];
+        let mut w = vec![Complex64::ZERO; n];
+        for l in 0..m {
+            for j in 0..n {
+                w[j] = raw[j][l];
+            }
+            // Flaw reproduced on purpose: ref. [6] inserts the Doppler
+            // outputs into its step 6 as if their variance were 1.
+            let z = self.coloring.matvec(&w);
+            for j in 0..n {
+                paths[j].push(z[j]);
+            }
+        }
+        paths
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corrfade_models::{paper_covariance_matrix_22, paper_covariance_matrix_23};
+    use corrfade_stats::{relative_frobenius_error, sample_covariance, sample_covariance_from_paths};
+
+    #[test]
+    fn single_instant_mode_works_on_pd_covariances() {
+        let k = paper_covariance_matrix_23();
+        let mut g = SorooshyariDautGenerator::new(&k, 3).unwrap();
+        assert_eq!(g.dimension(), 3);
+        assert_eq!(g.replaced_eigenvalues(), 0);
+        let snaps = g.generate_snapshots(60_000);
+        let khat = sample_covariance(&snaps);
+        assert!(relative_frobenius_error(&khat, &k) < 0.04);
+        assert_eq!(g.sample_envelopes().len(), 3);
+    }
+
+    #[test]
+    fn epsilon_forcing_is_less_precise_than_zero_clipping() {
+        // E7's core comparison.
+        let k = CMatrix::from_real_slice(
+            3,
+            3,
+            &[1.0, 0.9, -0.9, 0.9, 1.0, 0.9, -0.9, 0.9, 1.0],
+        );
+        let (eps_forced, replaced) = epsilon_psd_forcing(&k, 1e-3).unwrap();
+        assert_eq!(replaced, 1);
+        let zero_forced = corrfade::force_positive_semidefinite(&k).unwrap().forced;
+        assert!(
+            zero_forced.frobenius_distance(&k) < eps_forced.frobenius_distance(&k),
+            "zero clipping must approximate K at least as well as epsilon replacement"
+        );
+        // PSD input passes through unchanged.
+        let (same, zero) = epsilon_psd_forcing(&paper_covariance_matrix_23(), 1e-3).unwrap();
+        assert_eq!(zero, 0);
+        assert!(same.approx_eq(&paper_covariance_matrix_23(), 1e-12));
+    }
+
+    #[test]
+    fn indefinite_covariance_is_handled_via_epsilon() {
+        let k = CMatrix::from_real_slice(
+            3,
+            3,
+            &[1.0, 0.9, -0.9, 0.9, 1.0, 0.9, -0.9, 0.9, 1.0],
+        );
+        let g = SorooshyariDautGenerator::new(&k, 5).unwrap();
+        assert_eq!(g.replaced_eigenvalues(), 1);
+        // The forced covariance differs from K (it must — K is not PSD).
+        assert!(g.forced_covariance().max_abs_diff(&k) > 1e-3);
+    }
+
+    #[test]
+    fn unequal_powers_rejected() {
+        let k = CMatrix::from_real_slice(2, 2, &[1.0, 0.1, 0.1, 2.0]);
+        assert!(matches!(
+            SorooshyariDautGenerator::new(&k, 1),
+            Err(BaselineError::UnequalPowersUnsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn flawed_realtime_combination_misses_the_desired_covariance() {
+        // E8's core demonstration: the realized covariance is scaled by the
+        // Doppler output variance σ_g² ≠ 1 because the method ignores Eq. 19.
+        let k = paper_covariance_matrix_22();
+        let mut flawed =
+            SorooshyariDautRealtimeGenerator::new(&k, 1024, 0.05, 0.5, 11).unwrap();
+        assert_eq!(flawed.dimension(), 3);
+        let sigma_g_sq = flawed.actual_doppler_variance();
+        assert!((sigma_g_sq - 1.0).abs() > 0.05, "test premise: σ_g² must differ from 1");
+
+        let mut paths: Vec<Vec<Complex64>> = vec![Vec::new(); 3];
+        for _ in 0..30 {
+            let block = flawed.generate_block();
+            for j in 0..3 {
+                paths[j].extend_from_slice(&block[j]);
+            }
+        }
+        let khat = sample_covariance_from_paths(&paths);
+        // Large error against the desired covariance ...
+        let err_against_desired = relative_frobenius_error(&khat, &k);
+        // ... but consistent with the σ_g²-scaled covariance, confirming the
+        // error is exactly the ignored variance factor.
+        let scaled = k.scale_real(sigma_g_sq);
+        let err_against_scaled = relative_frobenius_error(&khat, &scaled);
+        assert!(
+            err_against_desired > 3.0 * err_against_scaled.max(0.02),
+            "flawed method should miss the target ({err_against_desired:.3}) \
+             but match the σ_g²-scaled matrix ({err_against_scaled:.3})"
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! Bench: the decomposition cost comparison of experiment E9 —
+//! Hermitian-Jacobi eigendecomposition (proposed coloring path) vs Cholesky
+//! factorization (conventional coloring path) as the number of envelopes
+//! grows, on both real and genuinely complex covariance matrices.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use corrfade_bench::scenarios::{complex_exponential_correlation, exponential_correlation};
+use corrfade_linalg::{cholesky, hermitian_eigen};
+
+fn bench_real_covariances(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decomposition/real");
+    for &n in &[2usize, 4, 8, 16, 32, 64] {
+        let k = exponential_correlation(n, 0.7);
+        group.bench_with_input(BenchmarkId::new("hermitian_eigen", n), &k, |b, k| {
+            b.iter(|| hermitian_eigen(k).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("cholesky", n), &k, |b, k| {
+            b.iter(|| cholesky(k).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_complex_covariances(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decomposition/complex");
+    for &n in &[4usize, 16, 64] {
+        let k = complex_exponential_correlation(n, 0.8, 0.7);
+        group.bench_with_input(BenchmarkId::new("hermitian_eigen", n), &k, |b, k| {
+            b.iter(|| hermitian_eigen(k).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("cholesky", n), &k, |b, k| {
+            b.iter(|| cholesky(k).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_real_covariances, bench_complex_covariances);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Bench: regenerating the paper's Fig. 4 experiments — one full real-time
+//! block (M = 4096 samples of N = 3 correlated envelopes) for the spectral
+//! (Fig. 4a) and spatial (Fig. 4b) scenarios, plus the single-instant mode
+//! for reference.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use corrfade::{CorrelatedRayleighGenerator, RealtimeConfig, RealtimeGenerator};
+use corrfade_models::{paper_covariance_matrix_22, paper_covariance_matrix_23};
+
+fn bench_realtime_blocks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4/realtime_block_m4096");
+    group.throughput(Throughput::Elements(4096 * 3));
+    group.sample_size(20);
+
+    group.bench_function("fig4a_spectral", |b| {
+        let mut gen = RealtimeGenerator::new(RealtimeConfig::paper_defaults(
+            paper_covariance_matrix_22(),
+            1,
+        ))
+        .unwrap();
+        b.iter(|| gen.generate_block())
+    });
+    group.bench_function("fig4b_spatial", |b| {
+        let mut gen = RealtimeGenerator::new(RealtimeConfig::paper_defaults(
+            paper_covariance_matrix_23(),
+            1,
+        ))
+        .unwrap();
+        b.iter(|| gen.generate_block())
+    });
+    group.finish();
+}
+
+fn bench_single_instant(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4/single_instant_4096_samples");
+    group.throughput(Throughput::Elements(4096 * 3));
+    group.bench_function("spectral_eq22", |b| {
+        let mut gen = CorrelatedRayleighGenerator::new(paper_covariance_matrix_22(), 1).unwrap();
+        b.iter(|| gen.generate_snapshots(4096))
+    });
+    group.bench_function("spatial_eq23", |b| {
+        let mut gen = CorrelatedRayleighGenerator::new(paper_covariance_matrix_23(), 1).unwrap();
+        b.iter(|| gen.generate_snapshots(4096))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_realtime_blocks, bench_single_instant);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Bench: throughput of the Monte-Carlo engine of experiment E9 —
+//! single-threaded generation vs the crossbeam engine at several worker
+//! counts, and the streaming covariance estimator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use corrfade::CorrelatedRayleighGenerator;
+use corrfade_bench::scenarios::exponential_correlation;
+use corrfade_parallel::{generate_snapshots, monte_carlo_covariance, ParallelConfig};
+
+const N: usize = 16;
+const TOTAL: usize = 100_000;
+
+fn bench_snapshot_generation(c: &mut Criterion) {
+    let k = exponential_correlation(N, 0.7);
+    let mut group = c.benchmark_group("parallel/snapshots_n16");
+    group.throughput(Throughput::Elements(TOTAL as u64));
+    group.sample_size(10);
+
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            let mut gen = CorrelatedRayleighGenerator::new(k.clone(), 1).unwrap();
+            gen.generate_snapshots(TOTAL)
+        })
+    });
+    for &threads in &[1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("engine", threads),
+            &threads,
+            |b, &threads| {
+                let cfg = ParallelConfig {
+                    threads,
+                    chunk_size: 8192,
+                    seed: 1,
+                };
+                b.iter(|| generate_snapshots(&k, TOTAL, &cfg).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_streaming_covariance(c: &mut Criterion) {
+    let k = exponential_correlation(N, 0.7);
+    let mut group = c.benchmark_group("parallel/streaming_covariance_n16");
+    group.throughput(Throughput::Elements(TOTAL as u64));
+    group.sample_size(10);
+    for &threads in &[1usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                let cfg = ParallelConfig {
+                    threads,
+                    chunk_size: 8192,
+                    seed: 1,
+                };
+                b.iter(|| monte_carlo_covariance(&k, TOTAL, &cfg).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_snapshot_generation, bench_streaming_covariance);
+criterion_main!(benches);

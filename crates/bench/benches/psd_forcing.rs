@@ -1,0 +1,37 @@
+//! Bench: the PSD-forcing ablation of experiment E7 — zero-clipping
+//! (proposed) vs ε-replacement (ref. [6]) on indefinite covariance matrices
+//! of growing size, plus the pure forcing step on PSD inputs (the fast
+//! path).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use corrfade::force_positive_semidefinite;
+use corrfade_baselines::epsilon_psd_forcing;
+use corrfade_bench::scenarios::{exponential_correlation, indefinite_correlation};
+
+fn bench_forcing_indefinite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("psd_forcing/indefinite");
+    for &n in &[4usize, 8, 16, 32] {
+        let k = indefinite_correlation(n, 0.9);
+        group.bench_with_input(BenchmarkId::new("zero_clip", n), &k, |b, k| {
+            b.iter(|| force_positive_semidefinite(k).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("epsilon_1e-4", n), &k, |b, k| {
+            b.iter(|| epsilon_psd_forcing(k, 1e-4).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_forcing_psd_fast_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("psd_forcing/already_psd");
+    for &n in &[8usize, 32] {
+        let k = exponential_correlation(n, 0.7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &k, |b, k| {
+            b.iter(|| force_positive_semidefinite(k).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forcing_indefinite, bench_forcing_psd_fast_path);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Bench: the two real-time combinations compared by experiment E8 —
+//! variance-aware (proposed) vs unit-variance-assuming (ref. [6]) — at the
+//! same Doppler/IDFT settings, to show the correction costs nothing.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use corrfade::{RealtimeConfig, RealtimeGenerator};
+use corrfade_baselines::SorooshyariDautRealtimeGenerator;
+use corrfade_models::paper_covariance_matrix_22;
+
+const M: usize = 2048;
+const FM: f64 = 0.05;
+
+fn bench_realtime_combinations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("variance_effect/block_m2048");
+    group.throughput(Throughput::Elements((M * 3) as u64));
+    group.sample_size(20);
+
+    group.bench_function("proposed_variance_aware", |b| {
+        let mut gen = RealtimeGenerator::new(RealtimeConfig {
+            covariance: paper_covariance_matrix_22(),
+            idft_size: M,
+            normalized_doppler: FM,
+            sigma_orig_sq: 0.5,
+            seed: 1,
+        })
+        .unwrap();
+        b.iter(|| gen.generate_block())
+    });
+
+    group.bench_function("ref6_unit_variance_assumption", |b| {
+        let mut gen = SorooshyariDautRealtimeGenerator::new(
+            &paper_covariance_matrix_22(),
+            M,
+            FM,
+            0.5,
+            1,
+        )
+        .unwrap();
+        b.iter(|| gen.generate_block())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_realtime_combinations);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Experiment E5 — verify the analytical claims of paper Sec. 4.5:
+//!
+//! * `E[Z·Zᴴ] = K̄` (the realized covariance equals the desired/forced one),
+//! * envelope mean `0.8862·σ_g` (Eq. 14) and variance `0.2146·σ_g²` (Eq. 15),
+//! * unequal-power support: starting from desired envelope powers `σ_r²`
+//!   through Eq. (11) the realized envelope variances equal `σ_r²`,
+//! * non-PSD targets are replaced by their closest PSD approximation.
+
+use corrfade::{CorrelatedRayleighGenerator, GeneratorBuilder};
+use corrfade_bench::{report, reported_spectral_covariance};
+use corrfade_bench::scenarios::indefinite_correlation;
+use corrfade_models::paper_spatial_scenario;
+use corrfade_stats::{relative_frobenius_error, sample_covariance};
+
+const SNAPSHOTS: usize = 200_000;
+
+fn main() {
+    report::section("E5: statistical validation of Sec. 4.5 (single-instant mode)");
+
+    // 1. Equal-power complex covariance (Eq. 22 target).
+    let k = reported_spectral_covariance();
+    let mut gen = CorrelatedRayleighGenerator::new(k.clone(), 0xE5).unwrap();
+    let snaps = gen.generate_snapshots(SNAPSHOTS);
+    let khat = sample_covariance(&snaps);
+    report::compare_matrices("E[Z Z^H] vs Eq. (22) target", &k, &khat);
+    report::measured_scalar("relative Frobenius error", relative_frobenius_error(&khat, &k));
+
+    // Envelope moments, per envelope (sigma_g^2 = 1).
+    let mut gen = CorrelatedRayleighGenerator::new(k.clone(), 0xE51).unwrap();
+    let paths = gen.generate_envelope_paths(SNAPSHOTS);
+    for (j, path) in paths.iter().enumerate() {
+        let check = corrfade_stats::check_envelope_moments(path, 1.0);
+        report::compare_scalar(
+            &format!("envelope {} mean (Eq. 14)", j + 1),
+            check.theoretical_mean,
+            check.sample_mean,
+        );
+        report::compare_scalar(
+            &format!("envelope {} variance (Eq. 15)", j + 1),
+            check.theoretical_variance,
+            check.sample_variance,
+        );
+        let sigma = corrfade_stats::rayleigh_scale(1.0);
+        let ks = corrfade_stats::ks_test(path, |r| corrfade_specfun::rayleigh_cdf(r, sigma));
+        println!(
+            "envelope {} Rayleigh KS test: statistic {:.4}, p-value {:.3} ({})",
+            j + 1,
+            ks.statistic,
+            ks.p_value,
+            if ks.passes(0.01) { "accepted" } else { "REJECTED" }
+        );
+    }
+
+    // 2. Unequal envelope powers specified through Eq. (11).
+    report::section("E5b: unequal envelope powers (Eq. 11 path)");
+    let envelope_powers = [0.5, 2.0, 1.0];
+    let mut gen = GeneratorBuilder::new()
+        .spatial_scenario(paper_spatial_scenario(), 3)
+        .envelope_powers(&envelope_powers)
+        .seed(0xE52)
+        .build()
+        .unwrap();
+    let paths = gen.generate_envelope_paths(SNAPSHOTS);
+    for (j, path) in paths.iter().enumerate() {
+        report::compare_scalar(
+            &format!("envelope {} variance vs requested sigma_r^2", j + 1),
+            envelope_powers[j],
+            corrfade_stats::variance(path),
+        );
+    }
+
+    // 3. Non-PSD target: realized covariance equals the forced PSD matrix.
+    report::section("E5c: non-PSD target is replaced by its closest PSD approximation");
+    let bad = indefinite_correlation(4, 0.9);
+    let mut gen = CorrelatedRayleighGenerator::new(bad.clone(), 0xE53).unwrap();
+    let forced = gen.realized_covariance();
+    let khat = sample_covariance(&gen.generate_snapshots(SNAPSHOTS));
+    println!(
+        "clipped eigenvalues: {} of {}",
+        gen.coloring().psd.clipped_count,
+        4
+    );
+    report::measured_scalar(
+        "rel. error of E[Z Z^H] vs forced PSD matrix",
+        relative_frobenius_error(&khat, &forced),
+    );
+    report::measured_scalar(
+        "rel. distance between forced matrix and the (infeasible) target",
+        relative_frobenius_error(&forced, &bad),
+    );
+}

@@ -1,0 +1,89 @@
+//! Experiment E7 — ablation of the PSD-forcing strategy (paper Sec. 4.2–4.3):
+//!
+//! * the paper's zero-clipping (`λ̂ = max(λ, 0)`) + eigen coloring,
+//! * Sorooshyari–Daut's ε-replacement (`λ̂ = ε` for `λ ≤ 0`) + Cholesky
+//!   coloring (baseline [6]),
+//! * raw Cholesky with no forcing (baselines [4]/[5]).
+//!
+//! Over a family of indefinite and near-singular covariance matrices we
+//! report (a) whether each method can produce a coloring at all, and (b) the
+//! Frobenius distance between the covariance it realizes and the desired
+//! matrix.
+
+use corrfade::{eigen_coloring, force_positive_semidefinite};
+use corrfade_baselines::epsilon_psd_forcing;
+use corrfade_bench::report;
+use corrfade_bench::scenarios::{indefinite_correlation, near_singular_correlation};
+use corrfade_linalg::{cholesky, CMatrix};
+
+fn frobenius_realized_error(realized: &CMatrix, desired: &CMatrix) -> f64 {
+    realized.frobenius_distance(desired) / desired.frobenius_norm()
+}
+
+fn run_case(label: &str, k: &CMatrix) {
+    println!();
+    println!("--- {label} (N = {}) ---", k.rows());
+
+    // Proposed: zero clipping + eigen coloring.
+    let forcing = force_positive_semidefinite(k).unwrap();
+    let coloring = eigen_coloring(k).unwrap();
+    let realized = coloring.realized_covariance();
+    println!(
+        "proposed (zero-clip + eigen coloring):      clipped {} eigenvalue(s), realized-vs-desired rel. Frobenius error {:.4e}",
+        forcing.clipped_count,
+        frobenius_realized_error(&realized, k)
+    );
+
+    // Baseline [6]: epsilon replacement + Cholesky, for two epsilons.
+    for &eps in &[1e-2f64, 1e-4] {
+        let (forced, replaced) = epsilon_psd_forcing(k, eps).unwrap();
+        match cholesky(&forced) {
+            Ok(l) => {
+                let realized = l.aat_adjoint();
+                println!(
+                    "Sorooshyari-Daut [6] (eps = {eps:>6.0e}):          replaced {replaced} eigenvalue(s), realized-vs-desired rel. Frobenius error {:.4e}",
+                    frobenius_realized_error(&realized, k)
+                );
+            }
+            Err(e) => println!(
+                "Sorooshyari-Daut [6] (eps = {eps:>6.0e}):          Cholesky FAILED after forcing ({e})"
+            ),
+        }
+    }
+
+    // Raw Cholesky (the refs [4]/[5] path).
+    match cholesky(k) {
+        Ok(l) => {
+            let realized = l.aat_adjoint();
+            println!(
+                "raw Cholesky (refs [4]/[5]):                 realized-vs-desired rel. Frobenius error {:.4e}",
+                frobenius_realized_error(&realized, k)
+            );
+        }
+        Err(e) => println!("raw Cholesky (refs [4]/[5]):                 FAILED ({e})"),
+    }
+}
+
+fn main() {
+    report::section("E7: PSD-forcing ablation (zero-clipping vs epsilon-replacement vs raw Cholesky)");
+
+    for n in [3usize, 4, 8, 16, 32] {
+        run_case(
+            &format!("indefinite correlation matrix, rho = 0.9"),
+            &indefinite_correlation(n, 0.9),
+        );
+    }
+    for &eps in &[1e-6f64, 1e-10, 1e-13] {
+        run_case(
+            &format!("near-singular PD matrix, min eigenvalue ~ {eps:.0e}"),
+            &near_singular_correlation(6, eps),
+        );
+    }
+
+    println!();
+    println!(
+        "Expected shape (paper Sec. 4.2): the zero-clipping error is never larger than the \
+         epsilon-replacement error, and the eigen coloring never fails, while raw Cholesky \
+         fails on every indefinite matrix."
+    );
+}

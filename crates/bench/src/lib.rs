@@ -1,0 +1,113 @@
+//! # corrfade-bench
+//!
+//! Shared scenario definitions and reporting helpers for the experiment
+//! binaries (`src/bin/exp_e*.rs`) and the Criterion benchmarks (`benches/`).
+//!
+//! Every experiment of DESIGN.md §4 has a binary that prints the
+//! paper-reported values next to the values measured from this
+//! implementation; EXPERIMENTS.md records the comparison. The Criterion
+//! benches measure the computational cost of the same code paths.
+
+#![warn(missing_docs)]
+
+use corrfade::{RealtimeConfig, RealtimeGenerator};
+use corrfade_linalg::{CMatrix, Complex64};
+use corrfade_models::{
+    paper_covariance_matrix_22, paper_covariance_matrix_23, paper_spatial_scenario,
+    paper_spectral_scenario,
+};
+
+pub mod report;
+pub mod scenarios;
+
+/// The paper's real-time generation settings (Sec. 6): `M = 4096`,
+/// `f_m = 0.05`, `σ²_orig = 1/2`.
+pub fn paper_realtime_config(covariance: CMatrix, seed: u64) -> RealtimeConfig {
+    RealtimeConfig::paper_defaults(covariance, seed)
+}
+
+/// Builds the paper's spectral-scenario covariance matrix (should equal
+/// Eq. 22) from the Jakes model.
+pub fn computed_spectral_covariance() -> CMatrix {
+    let (model, freqs, delays) = paper_spectral_scenario();
+    model
+        .covariance_matrix(&freqs, &delays)
+        .expect("paper scenario is well-formed")
+}
+
+/// Builds the paper's spatial-scenario covariance matrix (should equal
+/// Eq. 23) from the Salz–Winters model.
+pub fn computed_spatial_covariance() -> CMatrix {
+    paper_spatial_scenario()
+        .covariance_matrix(3)
+        .expect("paper scenario is well-formed")
+}
+
+/// The covariance matrix printed in the paper as Eq. (22).
+pub fn reported_spectral_covariance() -> CMatrix {
+    paper_covariance_matrix_22()
+}
+
+/// The covariance matrix printed in the paper as Eq. (23).
+pub fn reported_spatial_covariance() -> CMatrix {
+    paper_covariance_matrix_23()
+}
+
+/// Generates the first `samples` time samples of the paper's Fig.-4-style
+/// experiment for the given covariance matrix (real-time mode, paper
+/// parameters) and returns the envelope paths in dB around RMS — exactly the
+/// quantity plotted in Fig. 4.
+pub fn fig4_envelope_traces(covariance: CMatrix, samples: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut gen = RealtimeGenerator::new(paper_realtime_config(covariance, seed))
+        .expect("paper configuration is valid");
+    let block = gen.generate_block();
+    block
+        .envelope_paths
+        .iter()
+        .map(|path| corrfade_stats::envelope_db_around_rms(&path[..samples.min(path.len())]))
+        .collect()
+}
+
+/// Concatenates several real-time blocks into per-envelope complex paths —
+/// the raw material for the covariance / autocorrelation measurements of
+/// experiments E3, E4 and E6.
+pub fn realtime_paths(covariance: CMatrix, blocks: usize, seed: u64) -> Vec<Vec<Complex64>> {
+    let mut gen = RealtimeGenerator::new(paper_realtime_config(covariance, seed))
+        .expect("paper configuration is valid");
+    gen.generate_blocks(blocks).gaussian_paths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corrfade_stats::relative_frobenius_error;
+
+    #[test]
+    fn computed_matrices_match_reported_matrices() {
+        assert!(
+            computed_spectral_covariance().max_abs_diff(&reported_spectral_covariance()) < 5e-4
+        );
+        assert!(computed_spatial_covariance().max_abs_diff(&reported_spatial_covariance()) < 5e-4);
+    }
+
+    #[test]
+    fn fig4_traces_have_the_requested_shape() {
+        let traces = fig4_envelope_traces(reported_spatial_covariance(), 200, 1);
+        assert_eq!(traces.len(), 3);
+        assert!(traces.iter().all(|t| t.len() == 200));
+        // dB around RMS: values are centred around 0 dB and deep fades are
+        // strongly negative.
+        for t in &traces {
+            let max = t.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            assert!(max < 15.0 && max > 0.0);
+        }
+    }
+
+    #[test]
+    fn realtime_paths_realize_the_covariance() {
+        let k = reported_spectral_covariance();
+        let paths = realtime_paths(k.clone(), 6, 3);
+        let khat = corrfade_stats::sample_covariance_from_paths(&paths);
+        assert!(relative_frobenius_error(&khat, &k) < 0.15);
+    }
+}

@@ -1,0 +1,103 @@
+//! Plain-text reporting helpers shared by the experiment binaries.
+//!
+//! The binaries print paper-reported values next to measured values in a
+//! fixed-width layout so EXPERIMENTS.md can quote their output directly.
+
+use corrfade_linalg::CMatrix;
+
+/// Prints a section header.
+pub fn section(title: &str) {
+    println!();
+    println!("=== {title} ===");
+}
+
+/// Prints a labelled complex matrix with 4 decimal places (the precision the
+/// paper uses for Eq. 22/23).
+pub fn print_matrix(label: &str, m: &CMatrix) {
+    println!("{label}:");
+    print!("{m:.4}");
+}
+
+/// Prints a paper-vs-measured scalar comparison line.
+pub fn compare_scalar(name: &str, paper: f64, measured: f64) {
+    let rel = if paper.abs() > 1e-300 {
+        (measured - paper).abs() / paper.abs()
+    } else {
+        (measured - paper).abs()
+    };
+    println!("{name:<44} paper: {paper:>12.6}   measured: {measured:>12.6}   rel.err: {rel:.3e}");
+}
+
+/// Prints a single measured scalar (no paper reference available).
+pub fn measured_scalar(name: &str, measured: f64) {
+    println!("{name:<44} measured: {measured:>12.6}");
+}
+
+/// Prints a comparison between two matrices: max entry-wise deviation and
+/// relative Frobenius error.
+pub fn compare_matrices(name: &str, reference: &CMatrix, measured: &CMatrix) {
+    let max_dev = measured.max_abs_diff(reference);
+    let rel = corrfade_stats::relative_frobenius_error(measured, reference);
+    println!("{name:<44} max |Δ|: {max_dev:.4e}   rel. Frobenius error: {rel:.4e}");
+}
+
+/// Formats a row of an ASCII table.
+pub fn table_row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths.iter())
+        .map(|(c, w)| format!("{c:<w$}", w = w))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+/// Writes a CSV file with a header row and one row per record. Errors are
+/// reported to stderr but do not abort the experiment (the console output is
+/// the primary artifact).
+pub fn write_csv(path: &str, header: &[&str], rows: &[Vec<f64>]) {
+    let mut out = String::new();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in rows {
+        let line: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+        out.push_str(&line.join(","));
+        out.push('\n');
+    }
+    if let Err(e) = std::fs::write(path, out) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        println!("(wrote {path})");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_row_pads_cells() {
+        let row = table_row(&["a".into(), "bb".into()], &[4, 4]);
+        assert_eq!(row, "a     bb  ");
+    }
+
+    #[test]
+    fn printing_does_not_panic() {
+        section("test");
+        let m = CMatrix::identity(2);
+        print_matrix("identity", &m);
+        compare_scalar("x", 1.0, 1.01);
+        compare_scalar("zero reference", 0.0, 0.0);
+        measured_scalar("y", 2.0);
+        compare_matrices("m", &m, &m);
+    }
+
+    #[test]
+    fn csv_writer_creates_a_file() {
+        let path = std::env::temp_dir().join("corrfade_report_test.csv");
+        let path_str = path.to_str().unwrap();
+        write_csv(path_str, &["a", "b"], &[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("a,b\n1,2\n3,4\n"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,333 @@
+//! The discrete-time-instant generator (steps 6–7 of the algorithm,
+//! paper Sec. 4.4).
+//!
+//! Given the coloring matrix `L` of the (PSD-forced) desired covariance
+//! matrix, each call draws a white complex Gaussian vector
+//! `W ~ CN(0, σ_g²·I)` with an *arbitrary* common variance `σ_g²` and colors
+//! it:
+//!
+//! ```text
+//! Z = L·W / σ_g
+//! ```
+//!
+//! so that `E[Z·Zᴴ] = L·Lᴴ = K̄` regardless of `σ_g²`. The moduli `|z_j|` are
+//! the desired correlated Rayleigh envelopes. Samples produced by successive
+//! calls are independent over time (the correlated-in-time variant is
+//! [`crate::realtime::RealtimeGenerator`]).
+
+use corrfade_linalg::{CMatrix, Complex64};
+use corrfade_randn::{ComplexGaussian, RandomStream};
+
+use crate::coloring::{eigen_coloring, Coloring};
+use crate::error::CorrfadeError;
+
+/// One draw of the generator: the correlated complex Gaussian vector `Z` and
+/// its Rayleigh envelopes `|Z|`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// The correlated zero-mean complex Gaussian variables `z_1 … z_N`.
+    pub gaussian: Vec<Complex64>,
+    /// The Rayleigh envelopes `r_j = |z_j|`.
+    pub envelopes: Vec<f64>,
+}
+
+impl Sample {
+    /// Number of envelopes in the sample.
+    pub fn len(&self) -> usize {
+        self.gaussian.len()
+    }
+
+    /// `true` when the sample is empty (never, for a constructed generator).
+    pub fn is_empty(&self) -> bool {
+        self.gaussian.is_empty()
+    }
+}
+
+/// Generator of correlated Rayleigh fading envelopes at independent time
+/// instants — the proposed algorithm of Sec. 4.4.
+#[derive(Debug, Clone)]
+pub struct CorrelatedRayleighGenerator {
+    coloring: Coloring,
+    desired: CMatrix,
+    driving_variance: f64,
+    rng: RandomStream,
+    gaussian: ComplexGaussian,
+}
+
+impl CorrelatedRayleighGenerator {
+    /// Creates a generator for the desired covariance matrix `K` with the
+    /// default driving variance `σ_g² = 1` and the given RNG seed.
+    pub fn new(covariance: CMatrix, seed: u64) -> Result<Self, CorrfadeError> {
+        Self::with_driving_variance(covariance, 1.0, seed)
+    }
+
+    /// Creates a generator with an explicit driving variance `σ_g²` for the
+    /// white vector `W` (the result is invariant to this choice; it exists so
+    /// the real-time algorithm can pass the Doppler-filtered variance of
+    /// Eq. 19 through the identical code path).
+    pub fn with_driving_variance(
+        covariance: CMatrix,
+        driving_variance: f64,
+        seed: u64,
+    ) -> Result<Self, CorrfadeError> {
+        let coloring = eigen_coloring(&covariance)?;
+        Self::from_coloring(coloring, covariance, driving_variance, seed)
+    }
+
+    /// Assembles a generator from a precomputed coloring (used by the builder
+    /// and the real-time generator to avoid re-decomposing).
+    pub fn from_coloring(
+        coloring: Coloring,
+        desired: CMatrix,
+        driving_variance: f64,
+        seed: u64,
+    ) -> Result<Self, CorrfadeError> {
+        if !(driving_variance > 0.0) {
+            return Err(CorrfadeError::InvalidDrivingVariance {
+                value: driving_variance,
+            });
+        }
+        Ok(Self {
+            coloring,
+            desired,
+            driving_variance,
+            rng: RandomStream::new(seed),
+            gaussian: ComplexGaussian::default(),
+        })
+    }
+
+    /// Number of envelopes `N`.
+    pub fn dimension(&self) -> usize {
+        self.coloring.dimension()
+    }
+
+    /// The desired covariance matrix the generator was configured with.
+    pub fn desired_covariance(&self) -> &CMatrix {
+        &self.desired
+    }
+
+    /// The covariance the generator actually realizes, `L·Lᴴ` — equal to the
+    /// desired matrix when it was PSD, its closest PSD approximation
+    /// otherwise.
+    pub fn realized_covariance(&self) -> CMatrix {
+        self.coloring.realized_covariance()
+    }
+
+    /// The coloring (matrix + PSD-forcing metadata).
+    pub fn coloring(&self) -> &Coloring {
+        &self.coloring
+    }
+
+    /// The driving variance `σ_g²` of the internal white vector `W`.
+    pub fn driving_variance(&self) -> f64 {
+        self.driving_variance
+    }
+
+    /// Colors an externally supplied white complex Gaussian vector of
+    /// variance `w_variance`: `Z = L·W/σ_g` (step 7). This is the entry point
+    /// the real-time algorithm uses with the Doppler-filtered samples and the
+    /// Eq.-19 variance.
+    ///
+    /// # Panics
+    /// Panics if `w.len()` differs from the generator dimension or
+    /// `w_variance` is not strictly positive.
+    pub fn color(&self, w: &[Complex64], w_variance: f64) -> Vec<Complex64> {
+        assert_eq!(
+            w.len(),
+            self.dimension(),
+            "color: expected a vector of length {}, got {}",
+            self.dimension(),
+            w.len()
+        );
+        assert!(w_variance > 0.0, "color: variance must be strictly positive");
+        let scale = 1.0 / w_variance.sqrt();
+        self.coloring
+            .matrix
+            .matvec(w)
+            .into_iter()
+            .map(|z| z.scale(scale))
+            .collect()
+    }
+
+    /// Draws the next correlated complex Gaussian vector `Z` (step 6 + 7).
+    pub fn sample_gaussian(&mut self) -> Vec<Complex64> {
+        let n = self.dimension();
+        let w = self
+            .gaussian
+            .sample_vec(&mut self.rng, n, self.driving_variance);
+        self.color(&w, self.driving_variance)
+    }
+
+    /// Draws the next sample (complex Gaussians and their Rayleigh
+    /// envelopes).
+    pub fn sample(&mut self) -> Sample {
+        let gaussian = self.sample_gaussian();
+        let envelopes = gaussian.iter().map(|z| z.abs()).collect();
+        Sample { gaussian, envelopes }
+    }
+
+    /// Draws `count` independent snapshots (each a length-`N` vector `Z`).
+    pub fn generate_snapshots(&mut self, count: usize) -> Vec<Vec<Complex64>> {
+        (0..count).map(|_| self.sample_gaussian()).collect()
+    }
+
+    /// Draws `count` independent time samples and returns them as `N`
+    /// envelope paths of length `count` (the layout of the paper's Fig. 4
+    /// plots).
+    pub fn generate_envelope_paths(&mut self, count: usize) -> Vec<Vec<f64>> {
+        let n = self.dimension();
+        let mut paths = vec![Vec::with_capacity(count); n];
+        for _ in 0..count {
+            let z = self.sample_gaussian();
+            for (j, path) in paths.iter_mut().enumerate() {
+                path.push(z[j].abs());
+            }
+        }
+        paths
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corrfade_linalg::c64;
+    use corrfade_models::{paper_covariance_matrix_22, paper_covariance_matrix_23};
+    use corrfade_stats::{relative_frobenius_error, sample_covariance};
+
+    #[test]
+    fn basic_accessors() {
+        let k = paper_covariance_matrix_22();
+        let g = CorrelatedRayleighGenerator::new(k.clone(), 1).unwrap();
+        assert_eq!(g.dimension(), 3);
+        assert_eq!(g.driving_variance(), 1.0);
+        assert!(g.desired_covariance().approx_eq(&k, 0.0));
+        assert!(g.realized_covariance().approx_eq(&k, 1e-10));
+        assert_eq!(g.coloring().dimension(), 3);
+    }
+
+    #[test]
+    fn sample_shape_and_envelope_consistency() {
+        let mut g = CorrelatedRayleighGenerator::new(paper_covariance_matrix_23(), 2).unwrap();
+        let s = g.sample();
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        for (z, &r) in s.gaussian.iter().zip(s.envelopes.iter()) {
+            assert!((z.abs() - r).abs() < 1e-15);
+            assert!(r >= 0.0);
+        }
+    }
+
+    #[test]
+    fn reproducible_across_equal_seeds() {
+        let k = paper_covariance_matrix_22();
+        let mut a = CorrelatedRayleighGenerator::new(k.clone(), 99).unwrap();
+        let mut b = CorrelatedRayleighGenerator::new(k.clone(), 99).unwrap();
+        let mut c = CorrelatedRayleighGenerator::new(k, 100).unwrap();
+        assert_eq!(a.sample(), b.sample());
+        assert_ne!(a.sample(), c.sample());
+    }
+
+    #[test]
+    fn sample_covariance_converges_to_desired_covariance() {
+        // The central claim of Sec. 4.5: E[Z Z^H] = K.
+        let k = paper_covariance_matrix_22();
+        let mut g = CorrelatedRayleighGenerator::new(k.clone(), 7).unwrap();
+        let snaps = g.generate_snapshots(60_000);
+        let khat = sample_covariance(&snaps);
+        let err = relative_frobenius_error(&khat, &k);
+        assert!(err < 0.03, "relative covariance error {err}");
+    }
+
+    #[test]
+    fn result_is_invariant_to_driving_variance() {
+        // E[Z Z^H] = K for any σ_g² of the white vector W.
+        let k = paper_covariance_matrix_23();
+        for &var in &[0.1, 1.0, 17.0] {
+            let mut g =
+                CorrelatedRayleighGenerator::with_driving_variance(k.clone(), var, 11).unwrap();
+            let snaps = g.generate_snapshots(40_000);
+            let khat = sample_covariance(&snaps);
+            let err = relative_frobenius_error(&khat, &k);
+            assert!(err < 0.04, "driving variance {var}: relative error {err}");
+        }
+    }
+
+    #[test]
+    fn unequal_power_envelopes_have_the_requested_powers() {
+        // Unequal powers on the diagonal: 1.0, 4.0, 0.25.
+        let k = CMatrix::from_rows(&[
+            vec![c64(1.0, 0.0), c64(0.5, 0.5), c64(0.1, 0.0)],
+            vec![c64(0.5, -0.5), c64(4.0, 0.0), c64(0.2, -0.3)],
+            vec![c64(0.1, 0.0), c64(0.2, 0.3), c64(0.25, 0.0)],
+        ]);
+        let mut g = CorrelatedRayleighGenerator::new(k.clone(), 3).unwrap();
+        let paths = g.generate_envelope_paths(50_000);
+        for (j, path) in paths.iter().enumerate() {
+            let power = corrfade_stats::mean_square(path);
+            let expected = k[(j, j)].re;
+            assert!(
+                (power - expected).abs() / expected < 0.05,
+                "envelope {j}: power {power}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn envelope_moments_match_paper_eq_14_15() {
+        let k = paper_covariance_matrix_22();
+        let mut g = CorrelatedRayleighGenerator::new(k, 5).unwrap();
+        let paths = g.generate_envelope_paths(60_000);
+        for path in &paths {
+            let check = corrfade_stats::check_envelope_moments(path, 1.0);
+            assert!(
+                check.max_relative_error() < 0.05,
+                "envelope moments deviate: {check:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn generated_envelopes_pass_rayleigh_ks_test() {
+        let k = paper_covariance_matrix_23();
+        let mut g = CorrelatedRayleighGenerator::new(k, 13).unwrap();
+        let paths = g.generate_envelope_paths(20_000);
+        for path in &paths {
+            let sigma = corrfade_stats::rayleigh_scale(1.0);
+            let t = corrfade_stats::ks_test(path, |r| corrfade_specfun::rayleigh_cdf(r, sigma));
+            assert!(t.passes(0.001), "KS test rejected a generated envelope: {t:?}");
+        }
+    }
+
+    #[test]
+    fn indefinite_covariance_realizes_its_psd_projection() {
+        let k = CMatrix::from_real_slice(
+            3,
+            3,
+            &[1.0, 0.9, -0.9, 0.9, 1.0, 0.9, -0.9, 0.9, 1.0],
+        );
+        let mut g = CorrelatedRayleighGenerator::new(k.clone(), 21).unwrap();
+        assert!(g.coloring().psd.clipped_count > 0);
+        let forced = g.realized_covariance();
+        let snaps = g.generate_snapshots(60_000);
+        let khat = sample_covariance(&snaps);
+        // Converges to the forced matrix, not (and necessarily not) to K.
+        assert!(relative_frobenius_error(&khat, &forced) < 0.03);
+        assert!(relative_frobenius_error(&forced, &k) > 0.01);
+    }
+
+    #[test]
+    fn invalid_driving_variance_rejected() {
+        let k = paper_covariance_matrix_22();
+        assert!(matches!(
+            CorrelatedRayleighGenerator::with_driving_variance(k, 0.0, 1),
+            Err(CorrfadeError::InvalidDrivingVariance { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected a vector of length")]
+    fn color_checks_dimension() {
+        let g = CorrelatedRayleighGenerator::new(paper_covariance_matrix_22(), 1).unwrap();
+        let _ = g.color(&[Complex64::ZERO], 1.0);
+    }
+}

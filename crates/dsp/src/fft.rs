@@ -1,0 +1,318 @@
+//! Discrete Fourier transforms.
+//!
+//! The Young–Beaulieu Rayleigh generator (paper ref. [7], used by the
+//! real-time algorithm of Sec. 5) produces each fading sequence as an
+//! `M`-point **inverse** DFT of Doppler-filtered complex Gaussian spectra,
+//! with `M = 4096` in the paper's experiments. A radix-2 iterative
+//! Cooley–Tukey transform covers every power-of-two length; Bluestein's
+//! chirp-z algorithm (built on the radix-2 core) covers arbitrary lengths so
+//! the library does not silently constrain the caller's choice of `M`.
+//!
+//! Conventions match MATLAB/NumPy:
+//! `X[k] = Σ_l x[l]·e^{−i2πkl/M}` (forward), and the inverse includes the
+//! `1/M` factor, `x[l] = (1/M)·Σ_k X[k]·e^{+i2πkl/M}` — the same `1/M` that
+//! appears explicitly in Eq. (16)–(19) of the paper.
+
+use corrfade_linalg::{c64, Complex64};
+
+/// Returns `true` when `n` is a power of two (and non-zero).
+#[inline]
+pub fn is_power_of_two(n: usize) -> bool {
+    n != 0 && (n & (n - 1)) == 0
+}
+
+/// In-place iterative radix-2 Cooley–Tukey FFT.
+///
+/// `invert = false` computes the forward transform, `invert = true` the
+/// unnormalized inverse (no `1/M`; [`ifft`] applies it).
+///
+/// # Panics
+/// Panics if `data.len()` is not a power of two.
+fn fft_radix2_in_place(data: &mut [Complex64], invert: bool) {
+    let n = data.len();
+    assert!(is_power_of_two(n), "radix-2 FFT requires a power-of-two length, got {n}");
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+
+    // Butterflies.
+    let sign = if invert { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * core::f64::consts::PI / len as f64;
+        let wlen = Complex64::cis(ang);
+        let half = len / 2;
+        for start in (0..n).step_by(len) {
+            let mut w = Complex64::ONE;
+            for k in 0..half {
+                let u = data[start + k];
+                let v = data[start + k + half] * w;
+                data[start + k] = u + v;
+                data[start + k + half] = u - v;
+                w *= wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Bluestein chirp-z transform for arbitrary lengths, expressed through the
+/// radix-2 core.
+fn fft_bluestein(input: &[Complex64], invert: bool) -> Vec<Complex64> {
+    let n = input.len();
+    let sign = if invert { 1.0 } else { -1.0 };
+    // Chirp: w[k] = exp(sign * i * pi * k^2 / n)
+    let chirp: Vec<Complex64> = (0..n)
+        .map(|k| {
+            // k^2 mod 2n avoids precision loss for large k.
+            let k2 = ((k as u128 * k as u128) % (2 * n as u128)) as f64;
+            Complex64::cis(sign * core::f64::consts::PI * k2 / n as f64)
+        })
+        .collect();
+
+    let m = (2 * n - 1).next_power_of_two();
+    let mut a = vec![Complex64::ZERO; m];
+    let mut b = vec![Complex64::ZERO; m];
+    for k in 0..n {
+        a[k] = input[k] * chirp[k];
+        b[k] = chirp[k].conj();
+    }
+    for k in 1..n {
+        b[m - k] = chirp[k].conj();
+    }
+
+    fft_radix2_in_place(&mut a, false);
+    fft_radix2_in_place(&mut b, false);
+    for k in 0..m {
+        a[k] = a[k] * b[k];
+    }
+    fft_radix2_in_place(&mut a, true);
+    let scale = 1.0 / m as f64;
+    (0..n).map(|k| a[k].scale(scale) * chirp[k]).collect()
+}
+
+/// Forward DFT `X[k] = Σ_l x[l]·e^{−i2πkl/N}`.
+pub fn fft(input: &[Complex64]) -> Vec<Complex64> {
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if is_power_of_two(n) {
+        let mut data = input.to_vec();
+        fft_radix2_in_place(&mut data, false);
+        data
+    } else {
+        fft_bluestein(input, false)
+    }
+}
+
+/// Inverse DFT `x[l] = (1/N)·Σ_k X[k]·e^{+i2πkl/N}`.
+pub fn ifft(input: &[Complex64]) -> Vec<Complex64> {
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut out = if is_power_of_two(n) {
+        let mut data = input.to_vec();
+        fft_radix2_in_place(&mut data, true);
+        data
+    } else {
+        fft_bluestein(input, true)
+    };
+    let scale = 1.0 / n as f64;
+    for z in out.iter_mut() {
+        *z = z.scale(scale);
+    }
+    out
+}
+
+/// Naive `O(N²)` forward DFT — reference implementation used by the tests to
+/// validate the fast transforms.
+pub fn dft_naive(input: &[Complex64]) -> Vec<Complex64> {
+    let n = input.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex64::ZERO;
+            for (l, &x) in input.iter().enumerate() {
+                let ang = -2.0 * core::f64::consts::PI * (k as f64) * (l as f64) / n as f64;
+                acc += x * Complex64::cis(ang);
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Forward DFT of a real signal (convenience wrapper).
+pub fn fft_real(input: &[f64]) -> Vec<Complex64> {
+    fft(&input.iter().map(|&x| c64(x, 0.0)).collect::<Vec<_>>())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[Complex64], b: &[Complex64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (&x, &y)) in a.iter().zip(b.iter()).enumerate() {
+            assert!(
+                x.approx_eq(y, tol),
+                "mismatch at index {i}: {x} vs {y} (tol {tol})"
+            );
+        }
+    }
+
+    fn test_signal(n: usize) -> Vec<Complex64> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64;
+                c64((0.3 * t).sin() + 0.1 * t.cos(), (0.7 * t).cos() - 0.05 * t)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_and_single_point() {
+        assert!(fft(&[]).is_empty());
+        assert!(ifft(&[]).is_empty());
+        let one = vec![c64(3.0, -1.0)];
+        assert_eq!(fft(&one), one);
+        assert_eq!(ifft(&one), one);
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut x = vec![Complex64::ZERO; 8];
+        x[0] = Complex64::ONE;
+        let spec = fft(&x);
+        for &s in &spec {
+            assert!(s.approx_eq(Complex64::ONE, 1e-12));
+        }
+    }
+
+    #[test]
+    fn constant_signal_concentrates_at_dc() {
+        let x = vec![c64(2.0, 0.0); 16];
+        let spec = fft(&x);
+        assert!(spec[0].approx_eq(c64(32.0, 0.0), 1e-12));
+        for &s in &spec[1..] {
+            assert!(s.abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_in_single_bin() {
+        let n = 64;
+        let bin = 5;
+        let x: Vec<Complex64> = (0..n)
+            .map(|l| Complex64::cis(2.0 * core::f64::consts::PI * bin as f64 * l as f64 / n as f64))
+            .collect();
+        let spec = fft(&x);
+        for (k, &s) in spec.iter().enumerate() {
+            if k == bin {
+                assert!(s.approx_eq(c64(n as f64, 0.0), 1e-9));
+            } else {
+                assert!(s.abs() < 1e-9, "leakage at bin {k}: {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft_power_of_two() {
+        let x = test_signal(32);
+        assert_close(&fft(&x), &dft_naive(&x), 1e-9);
+    }
+
+    #[test]
+    fn matches_naive_dft_arbitrary_length() {
+        for n in [3usize, 5, 6, 7, 12, 15, 17, 31, 60] {
+            let x = test_signal(n);
+            assert_close(&fft(&x), &dft_naive(&x), 1e-8);
+        }
+    }
+
+    #[test]
+    fn round_trip_power_of_two() {
+        let x = test_signal(256);
+        assert_close(&ifft(&fft(&x)), &x, 1e-10);
+        assert_close(&fft(&ifft(&x)), &x, 1e-10);
+    }
+
+    #[test]
+    fn round_trip_arbitrary_length() {
+        for n in [7usize, 12, 100, 243] {
+            let x = test_signal(n);
+            assert_close(&ifft(&fft(&x)), &x, 1e-8);
+        }
+    }
+
+    #[test]
+    fn parseval_identity() {
+        let x = test_signal(128);
+        let spec = fft(&x);
+        let time_energy: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let freq_energy: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / x.len() as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-8 * time_energy);
+    }
+
+    #[test]
+    fn linearity() {
+        let x = test_signal(64);
+        let y: Vec<Complex64> = test_signal(64).iter().map(|z| z.conj()).collect();
+        let alpha = c64(0.3, -1.2);
+        let combined: Vec<Complex64> = x
+            .iter()
+            .zip(y.iter())
+            .map(|(&a, &b)| a * alpha + b)
+            .collect();
+        let lhs = fft(&combined);
+        let fx = fft(&x);
+        let fy = fft(&y);
+        let rhs: Vec<Complex64> = fx.iter().zip(fy.iter()).map(|(&a, &b)| a * alpha + b).collect();
+        assert_close(&lhs, &rhs, 1e-9);
+    }
+
+    #[test]
+    fn real_signal_spectrum_is_conjugate_symmetric() {
+        let x: Vec<f64> = (0..32).map(|i| (i as f64 * 0.37).sin()).collect();
+        let spec = fft_real(&x);
+        let n = spec.len();
+        for k in 1..n {
+            assert!(spec[k].approx_eq(spec[n - k].conj(), 1e-10));
+        }
+    }
+
+    #[test]
+    fn large_transform_round_trip() {
+        // Same size as the paper's experiments (M = 4096).
+        let x = test_signal(4096);
+        let back = ifft(&fft(&x));
+        let err: f64 = x
+            .iter()
+            .zip(back.iter())
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(err < 1e-9, "max round-trip error {err}");
+    }
+
+    #[test]
+    fn power_of_two_detection() {
+        assert!(is_power_of_two(1));
+        assert!(is_power_of_two(4096));
+        assert!(!is_power_of_two(0));
+        assert!(!is_power_of_two(3000));
+    }
+}

@@ -1,0 +1,610 @@
+//! Eigendecomposition of Hermitian (complex) and symmetric (real) matrices
+//! by the cyclic Jacobi method.
+//!
+//! The paper's coloring step (Sec. 4.3) requires the eigendecomposition
+//! `K = V·G·Vᴴ` of the desired covariance matrix `K`. Covariance matrices are
+//! Hermitian by construction, so the unconditionally-convergent Jacobi
+//! iteration is a natural fit: it is simple, backward-stable and — unlike
+//! Cholesky — does not care whether the matrix is positive (semi-)definite.
+//! For the matrix sizes that appear in fading simulation (a handful to a few
+//! dozen sub-carriers or antennas) its `O(N³)` per-sweep cost is irrelevant.
+//!
+//! Complex Hermitian matrices are diagonalized directly with complex Jacobi
+//! rotations (a phase factor absorbs the argument of the pivot entry, then a
+//! real Givens rotation annihilates it); real symmetric matrices use the
+//! classic real rotation. Eigenvalues are returned in **descending** order
+//! together with the matching orthonormal eigenvectors.
+
+use crate::complex::{c64, Complex64};
+use crate::error::LinalgError;
+use crate::matrix::{CMatrix, RMatrix};
+
+/// Default tolerance used to accept a matrix as Hermitian/symmetric before
+/// decomposing it. The covariance builders in `corrfade-models` produce
+/// matrices that are Hermitian to machine precision; anything larger than
+/// this usually indicates a bug in the caller.
+pub const DEFAULT_HERMITIAN_TOL: f64 = 1e-9;
+
+/// Maximum number of Jacobi sweeps before reporting a convergence failure.
+/// Jacobi converges quadratically once the off-diagonal mass is small; 64
+/// sweeps is far beyond what any `N ≤ 1024` Hermitian matrix needs.
+pub const MAX_SWEEPS: usize = 64;
+
+/// Eigendecomposition `A = V · diag(λ) · Vᴴ` of a Hermitian matrix.
+#[derive(Debug, Clone)]
+pub struct HermitianEigen {
+    /// Eigenvalues, sorted in descending order. They are real because the
+    /// input is Hermitian.
+    pub eigenvalues: Vec<f64>,
+    /// Unitary matrix whose `j`-th column is the eigenvector for
+    /// `eigenvalues[j]`.
+    pub eigenvectors: CMatrix,
+}
+
+impl HermitianEigen {
+    /// Reconstructs `V · diag(λ̃) · Vᴴ` with the supplied eigenvalues — the
+    /// building block of both the PSD-forcing step and the coloring matrix.
+    pub fn reconstruct_with(&self, eigenvalues: &[f64]) -> CMatrix {
+        assert_eq!(
+            eigenvalues.len(),
+            self.eigenvalues.len(),
+            "reconstruct_with: eigenvalue count mismatch"
+        );
+        let v = &self.eigenvectors;
+        let lambda = CMatrix::from_real_diag(eigenvalues);
+        v.matmul(&lambda).matmul(&v.adjoint())
+    }
+
+    /// Reconstructs the original matrix `V · diag(λ) · Vᴴ`.
+    pub fn reconstruct(&self) -> CMatrix {
+        self.reconstruct_with(&self.eigenvalues)
+    }
+
+    /// `true` when every eigenvalue is ≥ `−tol`, i.e. the matrix is positive
+    /// semi-definite up to the tolerance.
+    pub fn is_positive_semidefinite(&self, tol: f64) -> bool {
+        self.eigenvalues.iter().all(|&l| l >= -tol)
+    }
+
+    /// `true` when every eigenvalue is > `tol`.
+    pub fn is_positive_definite(&self, tol: f64) -> bool {
+        self.eigenvalues.iter().all(|&l| l > tol)
+    }
+}
+
+/// Eigendecomposition `A = V · diag(λ) · Vᵀ` of a real symmetric matrix.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues, sorted in descending order.
+    pub eigenvalues: Vec<f64>,
+    /// Orthogonal matrix whose `j`-th column is the eigenvector for
+    /// `eigenvalues[j]`.
+    pub eigenvectors: RMatrix,
+}
+
+impl SymmetricEigen {
+    /// Reconstructs `V · diag(λ̃) · Vᵀ` with the supplied eigenvalues.
+    pub fn reconstruct_with(&self, eigenvalues: &[f64]) -> RMatrix {
+        assert_eq!(
+            eigenvalues.len(),
+            self.eigenvalues.len(),
+            "reconstruct_with: eigenvalue count mismatch"
+        );
+        let v = &self.eigenvectors;
+        let n = eigenvalues.len();
+        let mut vl = RMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                vl[(i, j)] = v[(i, j)] * eigenvalues[j];
+            }
+        }
+        vl.matmul(&v.transpose())
+    }
+
+    /// Reconstructs the original matrix.
+    pub fn reconstruct(&self) -> RMatrix {
+        self.reconstruct_with(&self.eigenvalues)
+    }
+
+    /// `true` when every eigenvalue is ≥ `−tol`.
+    pub fn is_positive_semidefinite(&self, tol: f64) -> bool {
+        self.eigenvalues.iter().all(|&l| l >= -tol)
+    }
+}
+
+/// Sum of squared moduli of the strictly-off-diagonal entries — the quantity
+/// driven to zero by the Jacobi sweeps.
+fn off_diagonal_norm_sqr(a: &CMatrix) -> f64 {
+    let n = a.rows();
+    let mut s = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                s += a[(i, j)].norm_sqr();
+            }
+        }
+    }
+    s
+}
+
+fn off_diagonal_norm_sqr_real(a: &RMatrix) -> f64 {
+    let n = a.rows();
+    let mut s = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                s += a[(i, j)] * a[(i, j)];
+            }
+        }
+    }
+    s
+}
+
+/// Computes the eigendecomposition of a Hermitian matrix using cyclic
+/// complex Jacobi rotations.
+///
+/// # Errors
+/// * [`LinalgError::NotSquare`] if the matrix is not square.
+/// * [`LinalgError::NotHermitian`] if `‖A − Aᴴ‖_max` exceeds
+///   [`DEFAULT_HERMITIAN_TOL`] (scaled by the matrix magnitude).
+/// * [`LinalgError::ConvergenceFailure`] if the off-diagonal mass does not
+///   reach machine precision within [`MAX_SWEEPS`] sweeps (not observed in
+///   practice for Hermitian inputs).
+pub fn hermitian_eigen(a: &CMatrix) -> Result<HermitianEigen, LinalgError> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    let n = a.rows();
+    let scale = a.max_abs().max(1.0);
+    let herm_dev = a.max_abs_diff(&a.adjoint());
+    if herm_dev > DEFAULT_HERMITIAN_TOL * scale {
+        return Err(LinalgError::NotHermitian { deviation: herm_dev });
+    }
+
+    if n == 0 {
+        return Ok(HermitianEigen {
+            eigenvalues: Vec::new(),
+            eigenvectors: CMatrix::zeros(0, 0),
+        });
+    }
+
+    // Work on an exactly-Hermitian copy so that round-off in the caller's
+    // matrix cannot leak into the iteration.
+    let mut m = a.clone();
+    m.hermitianize();
+    let mut v = CMatrix::identity(n);
+
+    let frob = m.frobenius_norm().max(f64::MIN_POSITIVE);
+    let target = (f64::EPSILON * frob).powi(2);
+
+    let mut sweeps = 0;
+    while off_diagonal_norm_sqr(&m) > target && sweeps < MAX_SWEEPS {
+        sweeps += 1;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                let abs_apq = apq.abs();
+                if abs_apq <= f64::EPSILON * frob {
+                    continue;
+                }
+                // Phase factor e^{iφ} of the pivot entry; dividing column q by
+                // it turns the 2×2 pivot block into a real symmetric one.
+                let phase = apq.unscale(abs_apq);
+                let phase_conj = phase.conj();
+
+                let app = m[(p, p)].re;
+                let aqq = m[(q, q)].re;
+                let tau = (aqq - app) / (2.0 * abs_apq);
+                let t = if tau >= 0.0 {
+                    1.0 / (tau + (1.0 + tau * tau).sqrt())
+                } else {
+                    -1.0 / (-tau + (1.0 + tau * tau).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // Update rows/columns p and q for every other index r.
+                for r in 0..n {
+                    if r == p || r == q {
+                        continue;
+                    }
+                    let arp = m[(r, p)];
+                    let arq = m[(r, q)];
+                    let new_rp = arp.scale(c) - (arq * phase_conj).scale(s);
+                    let new_rq = arp.scale(s) + (arq * phase_conj).scale(c);
+                    m[(r, p)] = new_rp;
+                    m[(p, r)] = new_rp.conj();
+                    m[(r, q)] = new_rq;
+                    m[(q, r)] = new_rq.conj();
+                }
+
+                // Diagonal block.
+                m[(p, p)] = c64(app - t * abs_apq, 0.0);
+                m[(q, q)] = c64(aqq + t * abs_apq, 0.0);
+                m[(p, q)] = Complex64::ZERO;
+                m[(q, p)] = Complex64::ZERO;
+
+                // Accumulate the rotation into the eigenvector matrix:
+                // V ← V · U with U = P·J as documented above.
+                for r in 0..n {
+                    let vrp = v[(r, p)];
+                    let vrq = v[(r, q)];
+                    v[(r, p)] = vrp.scale(c) - (vrq * phase_conj).scale(s);
+                    v[(r, q)] = vrp.scale(s) + (vrq * phase_conj).scale(c);
+                }
+            }
+        }
+    }
+
+    let residual = off_diagonal_norm_sqr(&m).sqrt();
+    if residual * residual > target * 4.0 && residual > 1e-10 * frob {
+        return Err(LinalgError::ConvergenceFailure {
+            iterations: sweeps,
+            residual,
+        });
+    }
+
+    let mut order: Vec<usize> = (0..n).collect();
+    let raw: Vec<f64> = (0..n).map(|i| m[(i, i)].re).collect();
+    order.sort_by(|&i, &j| raw[j].partial_cmp(&raw[i]).unwrap_or(core::cmp::Ordering::Equal));
+
+    let eigenvalues: Vec<f64> = order.iter().map(|&i| raw[i]).collect();
+    let eigenvectors = CMatrix::from_fn(n, n, |i, j| v[(i, order[j])]);
+
+    Ok(HermitianEigen {
+        eigenvalues,
+        eigenvectors,
+    })
+}
+
+/// Computes the eigendecomposition of a real symmetric matrix using cyclic
+/// Jacobi rotations.
+///
+/// # Errors
+/// Same failure modes as [`hermitian_eigen`], with
+/// [`LinalgError::NotHermitian`] reported when the matrix is not symmetric.
+pub fn symmetric_eigen(a: &RMatrix) -> Result<SymmetricEigen, LinalgError> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    let n = a.rows();
+    let scale = a
+        .as_slice()
+        .iter()
+        .fold(0.0f64, |acc, &x| acc.max(x.abs()))
+        .max(1.0);
+    let sym_dev = a.max_abs_diff(&a.transpose());
+    if sym_dev > DEFAULT_HERMITIAN_TOL * scale {
+        return Err(LinalgError::NotHermitian { deviation: sym_dev });
+    }
+
+    if n == 0 {
+        return Ok(SymmetricEigen {
+            eigenvalues: Vec::new(),
+            eigenvectors: RMatrix::zeros(0, 0),
+        });
+    }
+
+    let mut m = a.clone();
+    // Exact symmetrization.
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let avg = 0.5 * (m[(i, j)] + m[(j, i)]);
+            m[(i, j)] = avg;
+            m[(j, i)] = avg;
+        }
+    }
+    let mut v = RMatrix::identity(n);
+
+    let frob = m.frobenius_norm().max(f64::MIN_POSITIVE);
+    let target = (f64::EPSILON * frob).powi(2);
+
+    let mut sweeps = 0;
+    while off_diagonal_norm_sqr_real(&m) > target && sweeps < MAX_SWEEPS {
+        sweeps += 1;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= f64::EPSILON * frob {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                let tau = (aqq - app) / (2.0 * apq);
+                let t = if tau >= 0.0 {
+                    1.0 / (tau + (1.0 + tau * tau).sqrt())
+                } else {
+                    -1.0 / (-tau + (1.0 + tau * tau).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                for r in 0..n {
+                    if r == p || r == q {
+                        continue;
+                    }
+                    let arp = m[(r, p)];
+                    let arq = m[(r, q)];
+                    let new_rp = c * arp - s * arq;
+                    let new_rq = s * arp + c * arq;
+                    m[(r, p)] = new_rp;
+                    m[(p, r)] = new_rp;
+                    m[(r, q)] = new_rq;
+                    m[(q, r)] = new_rq;
+                }
+
+                m[(p, p)] = app - t * apq;
+                m[(q, q)] = aqq + t * apq;
+                m[(p, q)] = 0.0;
+                m[(q, p)] = 0.0;
+
+                for r in 0..n {
+                    let vrp = v[(r, p)];
+                    let vrq = v[(r, q)];
+                    v[(r, p)] = c * vrp - s * vrq;
+                    v[(r, q)] = s * vrp + c * vrq;
+                }
+            }
+        }
+    }
+
+    let residual = off_diagonal_norm_sqr_real(&m).sqrt();
+    if residual * residual > target * 4.0 && residual > 1e-10 * frob {
+        return Err(LinalgError::ConvergenceFailure {
+            iterations: sweeps,
+            residual,
+        });
+    }
+
+    let mut order: Vec<usize> = (0..n).collect();
+    let raw: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+    order.sort_by(|&i, &j| raw[j].partial_cmp(&raw[i]).unwrap_or(core::cmp::Ordering::Equal));
+
+    let eigenvalues: Vec<f64> = order.iter().map(|&i| raw[i]).collect();
+    let eigenvectors = RMatrix::from_fn(n, n, |i, j| v[(i, order[j])]);
+
+    Ok(SymmetricEigen {
+        eigenvalues,
+        eigenvectors,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hermitian_3x3() -> CMatrix {
+        CMatrix::from_rows(&[
+            vec![c64(2.0, 0.0), c64(0.5, 0.5), c64(0.0, -0.25)],
+            vec![c64(0.5, -0.5), c64(1.5, 0.0), c64(0.3, 0.1)],
+            vec![c64(0.0, 0.25), c64(0.3, -0.1), c64(1.0, 0.0)],
+        ])
+    }
+
+    // The paper's spectral covariance matrix, Eq. (22).
+    fn paper_matrix_22() -> CMatrix {
+        CMatrix::from_rows(&[
+            vec![c64(1.0, 0.0), c64(0.3782, 0.4753), c64(0.0878, 0.2207)],
+            vec![c64(0.3782, -0.4753), c64(1.0, 0.0), c64(0.3063, 0.3849)],
+            vec![c64(0.0878, -0.2207), c64(0.3063, -0.3849), c64(1.0, 0.0)],
+        ])
+    }
+
+    #[test]
+    fn diagonal_matrix_is_its_own_decomposition() {
+        let d = CMatrix::from_real_diag(&[3.0, 1.0, 2.0]);
+        let e = hermitian_eigen(&d).unwrap();
+        assert_eq!(e.eigenvalues.len(), 3);
+        assert!((e.eigenvalues[0] - 3.0).abs() < 1e-12);
+        assert!((e.eigenvalues[1] - 2.0).abs() < 1e-12);
+        assert!((e.eigenvalues[2] - 1.0).abs() < 1e-12);
+        assert!(e.reconstruct().approx_eq(&d, 1e-12));
+    }
+
+    #[test]
+    fn reconstruction_matches_input() {
+        let a = hermitian_3x3();
+        let e = hermitian_eigen(&a).unwrap();
+        assert!(e.reconstruct().approx_eq(&a, 1e-10), "VΛV^H must equal A");
+    }
+
+    #[test]
+    fn eigenvectors_are_unitary() {
+        let a = hermitian_3x3();
+        let e = hermitian_eigen(&a).unwrap();
+        let vhv = e.eigenvectors.adjoint().matmul(&e.eigenvectors);
+        assert!(vhv.approx_eq(&CMatrix::identity(3), 1e-10));
+        let vvh = e.eigenvectors.matmul(&e.eigenvectors.adjoint());
+        assert!(vvh.approx_eq(&CMatrix::identity(3), 1e-10));
+    }
+
+    #[test]
+    fn eigenvalues_sorted_descending() {
+        let a = hermitian_3x3();
+        let e = hermitian_eigen(&a).unwrap();
+        for w in e.eigenvalues.windows(2) {
+            assert!(w[0] >= w[1] - 1e-14);
+        }
+    }
+
+    #[test]
+    fn eigenvalue_equation_holds() {
+        let a = paper_matrix_22();
+        let e = hermitian_eigen(&a).unwrap();
+        for j in 0..3 {
+            let vj = e.eigenvectors.col(j);
+            let av = a.matvec(&vj);
+            for i in 0..3 {
+                let expected = vj[i].scale(e.eigenvalues[j]);
+                assert!(
+                    av[i].approx_eq(expected, 1e-9),
+                    "A v_{j} != lambda_{j} v_{j} at row {i}: {} vs {}",
+                    av[i],
+                    expected
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_matrix_22_is_positive_definite() {
+        // The paper states Eq. (22) is positive definite; our decomposition
+        // must agree.
+        let e = hermitian_eigen(&paper_matrix_22()).unwrap();
+        assert!(e.is_positive_definite(0.0), "eigenvalues: {:?}", e.eigenvalues);
+        // Trace is preserved: sum of eigenvalues = 3.
+        let sum: f64 = e.eigenvalues.iter().sum();
+        assert!((sum - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn indefinite_matrix_detected() {
+        // A correlation-like matrix that is NOT positive semi-definite:
+        // pairwise correlations of 1, 1 and -1 are mutually inconsistent.
+        let a = CMatrix::from_real_slice(
+            3,
+            3,
+            &[1.0, 0.9, -0.9, 0.9, 1.0, 0.9, -0.9, 0.9, 1.0],
+        );
+        let e = hermitian_eigen(&a).unwrap();
+        assert!(!e.is_positive_semidefinite(1e-12));
+        assert!(e.eigenvalues[2] < 0.0);
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = CMatrix::zeros(2, 3);
+        assert!(matches!(hermitian_eigen(&a), Err(LinalgError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn non_hermitian_rejected() {
+        let a = CMatrix::from_rows(&[
+            vec![c64(1.0, 0.0), c64(5.0, 0.0)],
+            vec![c64(0.0, 0.0), c64(1.0, 0.0)],
+        ]);
+        assert!(matches!(
+            hermitian_eigen(&a),
+            Err(LinalgError::NotHermitian { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_matrix_is_ok() {
+        let e = hermitian_eigen(&CMatrix::zeros(0, 0)).unwrap();
+        assert!(e.eigenvalues.is_empty());
+    }
+
+    #[test]
+    fn one_by_one_matrix() {
+        let a = CMatrix::from_real_slice(1, 1, &[4.2]);
+        let e = hermitian_eigen(&a).unwrap();
+        assert!((e.eigenvalues[0] - 4.2).abs() < 1e-14);
+        assert!((e.eigenvectors[(0, 0)].abs() - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn rank_deficient_matrix_has_zero_eigenvalues() {
+        // Outer product v v^H has rank 1.
+        let v = [c64(1.0, 1.0), c64(2.0, -1.0), c64(0.5, 0.0)];
+        let a = CMatrix::from_fn(3, 3, |i, j| v[i] * v[j].conj());
+        let e = hermitian_eigen(&a).unwrap();
+        assert!(e.eigenvalues[0] > 1.0);
+        assert!(e.eigenvalues[1].abs() < 1e-10);
+        assert!(e.eigenvalues[2].abs() < 1e-10);
+        assert!(e.reconstruct().approx_eq(&a, 1e-10));
+    }
+
+    #[test]
+    fn reconstruct_with_clipped_eigenvalues_is_psd() {
+        let a = CMatrix::from_real_slice(
+            3,
+            3,
+            &[1.0, 0.9, -0.9, 0.9, 1.0, 0.9, -0.9, 0.9, 1.0],
+        );
+        let e = hermitian_eigen(&a).unwrap();
+        let clipped: Vec<f64> = e.eigenvalues.iter().map(|&l| l.max(0.0)).collect();
+        let forced = e.reconstruct_with(&clipped);
+        let e2 = hermitian_eigen(&forced).unwrap();
+        assert!(e2.is_positive_semidefinite(1e-10));
+    }
+
+    #[test]
+    fn symmetric_eigen_reconstruction() {
+        let a = RMatrix::from_vec(3, 3, vec![4.0, 1.0, 0.5, 1.0, 3.0, -0.25, 0.5, -0.25, 2.0]);
+        let e = symmetric_eigen(&a).unwrap();
+        assert!(e.reconstruct().approx_eq(&a, 1e-10));
+        let vtv = e.eigenvectors.transpose().matmul(&e.eigenvectors);
+        assert!(vtv.approx_eq(&RMatrix::identity(3), 1e-10));
+        for w in e.eigenvalues.windows(2) {
+            assert!(w[0] >= w[1] - 1e-14);
+        }
+    }
+
+    #[test]
+    fn symmetric_eigen_rejects_asymmetric() {
+        let a = RMatrix::from_vec(2, 2, vec![1.0, 2.0, 0.0, 1.0]);
+        assert!(matches!(
+            symmetric_eigen(&a),
+            Err(LinalgError::NotHermitian { .. })
+        ));
+    }
+
+    #[test]
+    fn symmetric_matches_hermitian_on_real_input() {
+        let vals = [2.0, 0.8, 0.3, 0.8, 1.5, 0.1, 0.3, 0.1, 1.0];
+        let r = RMatrix::from_vec(3, 3, vals.to_vec());
+        let c = CMatrix::from_real_slice(3, 3, &vals);
+        let er = symmetric_eigen(&r).unwrap();
+        let ec = hermitian_eigen(&c).unwrap();
+        for (a, b) in er.eigenvalues.iter().zip(ec.eigenvalues.iter()) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn real_embedding_eigenvalues_are_doubled_hermitian_eigenvalues() {
+        // Each eigenvalue of the N×N Hermitian matrix appears twice in the
+        // spectrum of its 2N×2N real-symmetric embedding.
+        let a = paper_matrix_22();
+        let eh = hermitian_eigen(&a).unwrap();
+        let es = symmetric_eigen(&a.real_embedding()).unwrap();
+        for (k, &l) in eh.eigenvalues.iter().enumerate() {
+            assert!((es.eigenvalues[2 * k] - l).abs() < 1e-9);
+            assert!((es.eigenvalues[2 * k + 1] - l).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn large_random_like_matrix_converges() {
+        // Deterministic pseudo-random Hermitian matrix, N = 24.
+        let n = 24;
+        let mut seed = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let mut a = CMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                if i == j {
+                    a[(i, i)] = c64(1.0 + next().abs() * 4.0, 0.0);
+                } else {
+                    let z = c64(next(), next());
+                    a[(i, j)] = z;
+                    a[(j, i)] = z.conj();
+                }
+            }
+        }
+        let e = hermitian_eigen(&a).unwrap();
+        assert!(e.reconstruct().approx_eq(&a, 1e-8));
+    }
+}

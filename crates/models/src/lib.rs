@@ -1,0 +1,39 @@
+//! # corrfade-models
+//!
+//! Fading-correlation models and covariance-matrix assembly for the
+//! `corrfade` workspace — the "step 1 to step 3" part of the paper's
+//! algorithm:
+//!
+//! * [`jakes`] — spectral/temporal correlation as a function of frequency
+//!   separation and arrival delay (paper Eq. 3–4; OFDM scenario, Eq. 22),
+//! * [`salz_winters`] — spatial correlation across a uniform linear antenna
+//!   array (paper Eq. 5–7; MIMO scenario, Eq. 23),
+//! * [`covariance`] — the covariance quadruple of Eq. (1)–(2) and the
+//!   assembly of the complex covariance matrix **K** of Eq. (12)–(13),
+//! * [`params`] — physical channel parameters (carrier, speed, sampling
+//!   rate) and the derived normalized Doppler quantities.
+//!
+//! Both models ship the exact parameter sets of the paper's Sec. 6
+//! experiments ([`jakes::paper_spectral_scenario`],
+//! [`salz_winters::paper_spatial_scenario`]) together with the covariance
+//! matrices the paper reports (Eq. 22 / Eq. 23) so the test-suite and the
+//! benchmark harness can verify the reproduction end to end.
+
+#![warn(missing_docs)]
+
+pub mod covariance;
+pub mod jakes;
+pub mod params;
+pub mod salz_winters;
+
+pub use covariance::{
+    covariance_matrix_equal_power, CovarianceBuildError, CovarianceBuilder, QuadCovariance,
+};
+pub use jakes::{
+    max_doppler_frequency, paper_covariance_matrix_22, paper_spectral_scenario,
+    pairwise_delays_from_arrival_times, JakesSpectralModel, SPEED_OF_LIGHT,
+};
+pub use params::ChannelParams;
+pub use salz_winters::{
+    paper_covariance_matrix_23, paper_spatial_scenario, SalzWintersSpatialModel,
+};

@@ -1,0 +1,263 @@
+//! Spatial fading correlation across a uniform linear antenna array after
+//! Salz & Winters (paper Sec. 3, Eq. 5–7; paper ref. [1]).
+//!
+//! All scatterers seen from a given receiver arrive within an angular spread
+//! `±Δ` around a mean angle-of-arrival `Φ`. For transmit antennas `k` and `j`
+//! separated by `|k − j|·D` (element spacing `D`, wavelength `λ`,
+//! `z = 2π·D/λ`) the normalized covariances are Bessel series:
+//!
+//! ```text
+//! R̃xx = R̃yy = J₀(z·(k−j)) + 2·Σ_{m≥1} J_{2m}(z·(k−j))·cos(2mΦ)·sin(2mΔ)/(2mΔ)
+//! R̃xy = −R̃yx = 2·Σ_{m≥0} J_{2m+1}(z·(k−j))·sin((2m+1)Φ)·sin((2m+1)Δ)/((2m+1)Δ)
+//! ```
+//!
+//! normalized by the per-dimension variance `σ²/2` (Eq. 7: `R = σ²·R̃/2`).
+//! This is the MIMO-flavoured correlation model of the paper's second
+//! experiment (covariance matrix Eq. 23, Fig. 4b).
+
+use corrfade_linalg::CMatrix;
+use corrfade_specfun::{bessel_j0, bessel_jn};
+
+use crate::covariance::{covariance_matrix_equal_power, CovarianceBuildError, QuadCovariance};
+
+/// Number of series terms after which the Bessel series is truncated.
+/// `J_n(x)` decays super-exponentially once `n > x`; the arguments of
+/// interest (`z·(k−j)` for arrays of a few dozen elements at ≤ a few
+/// wavelengths spacing) are far below the orders reached here.
+const MAX_SERIES_TERMS: usize = 200;
+
+/// Relative tolerance at which the series is considered converged.
+const SERIES_TOL: f64 = 1e-14;
+
+/// Salz–Winters spatial-correlation model for a uniform linear array of
+/// equal-power channels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SalzWintersSpatialModel {
+    /// Common power `σ²` of the complex Gaussian channel gains.
+    pub sigma_sq: f64,
+    /// Antenna spacing in wavelengths, `D/λ`.
+    pub spacing_wavelengths: f64,
+    /// Mean angle of arrival `Φ` in radians, `|Φ| ≤ π`.
+    pub angle_of_arrival_rad: f64,
+    /// Angular spread `Δ` in radians, `0 < Δ ≤ π`.
+    pub angular_spread_rad: f64,
+}
+
+impl SalzWintersSpatialModel {
+    /// Creates the model.
+    ///
+    /// # Panics
+    /// Panics if the power or spacing is non-positive, `|Φ| > π`, or
+    /// `Δ ∉ (0, π]`.
+    pub fn new(
+        sigma_sq: f64,
+        spacing_wavelengths: f64,
+        angle_of_arrival_rad: f64,
+        angular_spread_rad: f64,
+    ) -> Self {
+        assert!(sigma_sq > 0.0, "power must be positive, got {sigma_sq}");
+        assert!(spacing_wavelengths > 0.0, "antenna spacing must be positive");
+        assert!(
+            angle_of_arrival_rad.abs() <= core::f64::consts::PI,
+            "angle of arrival must satisfy |Phi| <= pi"
+        );
+        assert!(
+            angular_spread_rad > 0.0 && angular_spread_rad <= core::f64::consts::PI,
+            "angular spread must lie in (0, pi]"
+        );
+        Self {
+            sigma_sq,
+            spacing_wavelengths,
+            angle_of_arrival_rad,
+            angular_spread_rad,
+        }
+    }
+
+    /// The electrical spacing `z = 2π·D/λ`.
+    pub fn z(&self) -> f64 {
+        2.0 * core::f64::consts::PI * self.spacing_wavelengths
+    }
+
+    /// The normalized covariances `(R̃xx, R̃xy)` of Eq. (5)–(6) for antenna
+    /// index difference `k − j` (may be negative; the model depends on it
+    /// through `z·(k−j)`).
+    pub fn normalized_covariances(&self, index_difference: i64) -> (f64, f64) {
+        let arg = self.z() * index_difference as f64;
+        let phi = self.angle_of_arrival_rad;
+        let delta = self.angular_spread_rad;
+
+        // Eq. (5): even series.
+        let mut rxx = bessel_j0(arg);
+        for m in 1..=MAX_SERIES_TERMS {
+            let order = 2 * m as u32;
+            let term = 2.0 * bessel_jn(order, arg) * (2.0 * m as f64 * phi).cos()
+                * (2.0 * m as f64 * delta).sin()
+                / (2.0 * m as f64 * delta);
+            rxx += term;
+            if term.abs() < SERIES_TOL && order as f64 > arg.abs() {
+                break;
+            }
+        }
+
+        // Eq. (6): odd series.
+        let mut rxy = 0.0;
+        for m in 0..=MAX_SERIES_TERMS {
+            let order = 2 * m as u32 + 1;
+            let o = order as f64;
+            let term = 2.0 * bessel_jn(order, arg) * (o * phi).sin() * (o * delta).sin() / (o * delta);
+            rxy += term;
+            if term.abs() < SERIES_TOL && o > arg.abs() {
+                break;
+            }
+        }
+
+        (rxx, rxy)
+    }
+
+    /// The (un-normalized) covariance quadruple for antennas `k` and `j`
+    /// (Eq. 5–7): `Rxx = Ryy = σ²·R̃xx/2`, `Rxy = −Ryx = σ²·R̃xy/2`.
+    pub fn covariances(&self, k: usize, j: usize) -> QuadCovariance {
+        let (rxx_n, rxy_n) = self.normalized_covariances(k as i64 - j as i64);
+        QuadCovariance::symmetric(self.sigma_sq * rxx_n / 2.0, self.sigma_sq * rxy_n / 2.0)
+    }
+
+    /// The complex covariance `µ_{k,j} = σ²·(R̃xx − i·R̃xy)` between antennas
+    /// `k` and `j`.
+    pub fn complex_covariance(&self, k: usize, j: usize) -> corrfade_linalg::Complex64 {
+        self.covariances(k, j).complex_covariance()
+    }
+
+    /// Builds the full `N × N` covariance matrix (Eq. 12–13) for a uniform
+    /// linear array of `n_antennas` elements.
+    ///
+    /// # Errors
+    /// Propagates [`CovarianceBuildError`] from the builder.
+    pub fn covariance_matrix(&self, n_antennas: usize) -> Result<CMatrix, CovarianceBuildError> {
+        covariance_matrix_equal_power(n_antennas, self.sigma_sq, |k, j| self.covariances(k, j))
+    }
+}
+
+/// The exact parameter set of the paper's second experiment (Sec. 6):
+/// three transmit antennas with `D/λ = 1` (D = 33.3 cm at GSM 900),
+/// angular spread `Δ = π/18` (10°), broadside arrival `Φ = 0`, `σ_g² = 1`.
+pub fn paper_spatial_scenario() -> SalzWintersSpatialModel {
+    SalzWintersSpatialModel::new(1.0, 1.0, 0.0, core::f64::consts::PI / 18.0)
+}
+
+/// The desired covariance matrix the paper reports for the spatial scenario
+/// (Eq. 23), for comparison in tests and experiments.
+pub fn paper_covariance_matrix_23() -> CMatrix {
+    CMatrix::from_real_slice(
+        3,
+        3,
+        &[1.0, 0.8123, 0.3730, 0.8123, 1.0, 0.8123, 0.3730, 0.8123, 1.0],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_index_difference_gives_unit_normalized_covariance() {
+        let m = paper_spatial_scenario();
+        let (rxx, rxy) = m.normalized_covariances(0);
+        // J0(0) = 1 and every higher-order term vanishes.
+        assert!((rxx - 1.0).abs() < 1e-12);
+        assert!(rxy.abs() < 1e-12);
+        // µ_{k,k} would be σ² (the builder uses the powers directly there).
+        assert!(m
+            .complex_covariance(1, 1)
+            .approx_eq(corrfade_linalg::c64(1.0, 0.0), 1e-12));
+    }
+
+    #[test]
+    fn broadside_arrival_makes_covariances_real() {
+        // Φ = 0 ⇒ sin((2m+1)Φ) = 0 ⇒ R̃xy = 0 ⇒ K real (paper's remark after
+        // Eq. 23).
+        let m = paper_spatial_scenario();
+        for d in 1..4i64 {
+            let (_, rxy) = m.normalized_covariances(d);
+            assert!(rxy.abs() < 1e-12, "R̃xy must vanish at Φ = 0, got {rxy}");
+        }
+    }
+
+    #[test]
+    fn reproduces_paper_equation_23() {
+        // Headline check of experiment E2: Eq. (5)-(7)+(12)-(13) must
+        // reproduce the covariance matrix the paper prints.
+        let m = paper_spatial_scenario();
+        let k = m.covariance_matrix(3).unwrap();
+        let expected = paper_covariance_matrix_23();
+        assert!(
+            k.max_abs_diff(&expected) < 5e-4,
+            "computed covariance deviates from the paper's Eq. (23):\n{k:?}\nvs\n{expected:?}"
+        );
+        assert!(k.is_hermitian(1e-12));
+    }
+
+    #[test]
+    fn eq23_is_positive_definite_as_the_paper_states() {
+        let m = paper_spatial_scenario();
+        let k = m.covariance_matrix(3).unwrap();
+        assert!(corrfade_linalg::is_positive_definite(&k));
+    }
+
+    #[test]
+    fn correlation_decays_with_antenna_separation() {
+        let m = paper_spatial_scenario();
+        let c1 = m.complex_covariance(0, 1).abs();
+        let c2 = m.complex_covariance(0, 2).abs();
+        assert!(c1 > c2, "spatial correlation must decay: {c1} vs {c2}");
+        assert!(c1 < 1.0);
+    }
+
+    #[test]
+    fn covariance_is_symmetric_in_antenna_order() {
+        // µ_{k,j} = conj(µ_{j,k}); for Φ = 0 they are equal and real, for
+        // Φ ≠ 0 the imaginary part flips sign.
+        let m = SalzWintersSpatialModel::new(1.0, 0.5, 0.7, core::f64::consts::PI / 12.0);
+        let kj = m.complex_covariance(0, 2);
+        let jk = m.complex_covariance(2, 0);
+        assert!(kj.approx_eq(jk.conj(), 1e-12));
+        assert!(kj.im.abs() > 1e-6, "off-broadside arrival must give complex covariances");
+    }
+
+    #[test]
+    fn off_broadside_covariance_matrix_is_hermitian_complex() {
+        let m = SalzWintersSpatialModel::new(2.0, 0.5, core::f64::consts::FRAC_PI_3, 0.2);
+        let k = m.covariance_matrix(4).unwrap();
+        assert!(k.is_hermitian(1e-12));
+        assert!((k[(0, 0)].re - 2.0).abs() < 1e-12);
+        // At least one off-diagonal entry has a significant imaginary part —
+        // the case ref. [5]'s real-covariance restriction cannot express.
+        assert!(k[(0, 1)].im.abs() > 1e-3);
+    }
+
+    #[test]
+    fn wide_angular_spread_decorrelates_antennas() {
+        // Δ = π (isotropic scattering) reduces R̃xx to J0(z·(k−j)).
+        let iso = SalzWintersSpatialModel::new(1.0, 0.5, 0.0, core::f64::consts::PI);
+        let (rxx, _) = iso.normalized_covariances(1);
+        let j0 = bessel_j0(iso.z());
+        assert!(
+            (rxx - j0).abs() < 1e-10,
+            "isotropic limit must reduce to J0: {rxx} vs {j0}"
+        );
+        // And the narrow-spread case is much more correlated.
+        let narrow = paper_spatial_scenario();
+        assert!(narrow.normalized_covariances(1).0 > rxx.abs());
+    }
+
+    #[test]
+    #[should_panic(expected = "angular spread")]
+    fn invalid_angular_spread_rejected() {
+        let _ = SalzWintersSpatialModel::new(1.0, 1.0, 0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "spacing")]
+    fn invalid_spacing_rejected() {
+        let _ = SalzWintersSpatialModel::new(1.0, 0.0, 0.0, 0.1);
+    }
+}

@@ -1,0 +1,330 @@
+//! Multi-threaded Monte-Carlo generation of correlated Rayleigh envelopes.
+//!
+//! The expensive part of validating (or using) the generator is drawing
+//! millions of snapshots, not computing the coloring matrix — the
+//! decomposition is done once per covariance matrix. The engine therefore:
+//!
+//! 1. computes the eigen-coloring once on the calling thread,
+//! 2. splits the requested ensemble into fixed-size chunks
+//!    ([`crate::partition`]), each with its own deterministic RNG seed,
+//! 3. lets a crossbeam-scoped worker pool pull chunks from a shared atomic
+//!    counter, generate them independently, and either store the snapshots
+//!    or fold them into per-thread covariance accumulators,
+//! 4. merges the per-thread results.
+//!
+//! Because chunk seeds depend only on `(master seed, chunk index)`, the
+//! produced ensemble is identical for any thread count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use corrfade::{CorrelatedRayleighGenerator, CorrfadeError, RealtimeConfig, RealtimeGenerator};
+use corrfade_linalg::{CMatrix, Complex64};
+use parking_lot::Mutex;
+
+use crate::partition::{chunk_seed, partition, Chunk};
+
+/// Configuration of the parallel engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Number of worker threads (0 means "number of available cores").
+    pub threads: usize,
+    /// Number of snapshots generated per chunk (the unit of work stealing).
+    pub chunk_size: usize,
+    /// Master RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        Self {
+            threads: 0,
+            chunk_size: 4096,
+            seed: 0,
+        }
+    }
+}
+
+impl ParallelConfig {
+    /// Resolves the effective number of worker threads.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// Generates `total` independent snapshots of the correlated complex
+/// Gaussian vector in parallel. The result is ordered and identical for any
+/// thread count.
+///
+/// # Errors
+/// Propagates covariance-validation errors from the core crate.
+pub fn generate_snapshots(
+    covariance: &CMatrix,
+    total: usize,
+    config: &ParallelConfig,
+) -> Result<Vec<Vec<Complex64>>, CorrfadeError> {
+    let coloring = corrfade::eigen_coloring(covariance)?;
+    let chunks = partition(total, config.chunk_size);
+    let slots: Vec<Mutex<Vec<Vec<Complex64>>>> =
+        chunks.iter().map(|_| Mutex::new(Vec::new())).collect();
+    let next = AtomicUsize::new(0);
+    let threads = config.effective_threads().min(chunks.len()).max(1);
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= chunks.len() {
+                    break;
+                }
+                let chunk = chunks[i];
+                let snaps = generate_chunk(&coloring, covariance, chunk, config.seed);
+                *slots[chunk.index].lock() = snaps;
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    let mut out = Vec::with_capacity(total);
+    for slot in slots {
+        out.extend(slot.into_inner());
+    }
+    Ok(out)
+}
+
+fn generate_chunk(
+    coloring: &corrfade::Coloring,
+    desired: &CMatrix,
+    chunk: Chunk,
+    master_seed: u64,
+) -> Vec<Vec<Complex64>> {
+    let mut gen = CorrelatedRayleighGenerator::from_coloring(
+        coloring.clone(),
+        desired.clone(),
+        1.0,
+        chunk_seed(master_seed, chunk.index),
+    )
+    .expect("coloring was already validated");
+    gen.generate_snapshots(chunk.len)
+}
+
+/// Estimates the sample covariance `E[Z·Zᴴ]` over `total` snapshots without
+/// materializing them: each worker folds its chunks into a local accumulator
+/// and the accumulators are merged at the end.
+///
+/// # Errors
+/// Propagates covariance-validation errors from the core crate.
+pub fn monte_carlo_covariance(
+    covariance: &CMatrix,
+    total: usize,
+    config: &ParallelConfig,
+) -> Result<CMatrix, CorrfadeError> {
+    assert!(total > 0, "monte_carlo_covariance: need at least one snapshot");
+    let coloring = corrfade::eigen_coloring(covariance)?;
+    let n = coloring.dimension();
+    let chunks = partition(total, config.chunk_size);
+    let next = AtomicUsize::new(0);
+    let threads = config.effective_threads().min(chunks.len()).max(1);
+    let accumulator = Mutex::new(CMatrix::zeros(n, n));
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| {
+                let mut local = CMatrix::zeros(n, n);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= chunks.len() {
+                        break;
+                    }
+                    let chunk = chunks[i];
+                    let mut gen = CorrelatedRayleighGenerator::from_coloring(
+                        coloring.clone(),
+                        covariance.clone(),
+                        1.0,
+                        chunk_seed(config.seed, chunk.index),
+                    )
+                    .expect("coloring was already validated");
+                    for _ in 0..chunk.len {
+                        let z = gen.sample_gaussian();
+                        for a in 0..n {
+                            for b in 0..n {
+                                local[(a, b)] += z[a] * z[b].conj();
+                            }
+                        }
+                    }
+                }
+                let mut shared = accumulator.lock();
+                let merged = &*shared + &local;
+                *shared = merged;
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    Ok(accumulator.into_inner().scale_real(1.0 / total as f64))
+}
+
+/// Generates `blocks` real-time Doppler blocks in parallel (one block is one
+/// full `M`-sample realization of all `N` envelopes) and concatenates them
+/// per envelope. Block `i` always uses the RNG stream derived from
+/// `(seed, i)`, so the result is thread-count invariant.
+///
+/// # Errors
+/// Propagates configuration errors from the core crate.
+pub fn generate_realtime_paths(
+    base: &RealtimeConfig,
+    blocks: usize,
+    config: &ParallelConfig,
+) -> Result<Vec<Vec<Complex64>>, CorrfadeError> {
+    // Validate the configuration once up front so workers cannot fail.
+    let probe = RealtimeGenerator::new(RealtimeConfig {
+        covariance: base.covariance.clone(),
+        ..*base
+    })?;
+    let n = probe.dimension();
+    drop(probe);
+
+    let slots: Vec<Mutex<Vec<Vec<Complex64>>>> = (0..blocks).map(|_| Mutex::new(Vec::new())).collect();
+    let next = AtomicUsize::new(0);
+    let threads = config.effective_threads().min(blocks.max(1));
+
+    let result: Result<(), CorrfadeError> = crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= blocks {
+                    break;
+                }
+                let cfg = RealtimeConfig {
+                    covariance: base.covariance.clone(),
+                    seed: chunk_seed(base.seed, i),
+                    ..*base
+                };
+                let mut gen = RealtimeGenerator::new(cfg).expect("configuration validated above");
+                let block = gen.generate_block();
+                *slots[i].lock() = block.gaussian_paths;
+            });
+        }
+        Ok(())
+    })
+    .expect("worker thread panicked");
+    result?;
+
+    let mut paths: Vec<Vec<Complex64>> = vec![Vec::new(); n];
+    for slot in slots {
+        let block = slot.into_inner();
+        for (j, path) in block.into_iter().enumerate() {
+            paths[j].extend(path);
+        }
+    }
+    Ok(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corrfade_models::{paper_covariance_matrix_22, paper_covariance_matrix_23};
+    use corrfade_stats::{relative_frobenius_error, sample_covariance};
+
+    fn config(threads: usize, seed: u64) -> ParallelConfig {
+        ParallelConfig {
+            threads,
+            chunk_size: 512,
+            seed,
+        }
+    }
+
+    #[test]
+    fn effective_threads_resolution() {
+        assert_eq!(config(3, 0).effective_threads(), 3);
+        assert!(ParallelConfig::default().effective_threads() >= 1);
+    }
+
+    #[test]
+    fn snapshot_count_and_shape() {
+        let k = paper_covariance_matrix_22();
+        let snaps = generate_snapshots(&k, 1000, &config(2, 1)).unwrap();
+        assert_eq!(snaps.len(), 1000);
+        assert!(snaps.iter().all(|s| s.len() == 3));
+    }
+
+    #[test]
+    fn result_is_thread_count_invariant() {
+        let k = paper_covariance_matrix_23();
+        let a = generate_snapshots(&k, 2000, &config(1, 7)).unwrap();
+        let b = generate_snapshots(&k, 2000, &config(4, 7)).unwrap();
+        assert_eq!(a, b, "ensemble must not depend on the worker count");
+        let c = generate_snapshots(&k, 2000, &config(4, 8)).unwrap();
+        assert_ne!(a, c, "different seeds must give different ensembles");
+    }
+
+    #[test]
+    fn parallel_covariance_matches_desired_covariance() {
+        let k = paper_covariance_matrix_22();
+        let khat = monte_carlo_covariance(&k, 60_000, &config(4, 3)).unwrap();
+        let err = relative_frobenius_error(&khat, &k);
+        assert!(err < 0.03, "relative covariance error {err}");
+    }
+
+    #[test]
+    fn streaming_covariance_agrees_with_materialized_snapshots() {
+        let k = paper_covariance_matrix_23();
+        let cfg = config(3, 11);
+        let snaps = generate_snapshots(&k, 8192, &cfg).unwrap();
+        let k_mat = sample_covariance(&snaps);
+        let k_stream = monte_carlo_covariance(&k, 8192, &cfg).unwrap();
+        assert!(k_mat.approx_eq(&k_stream, 1e-10));
+    }
+
+    #[test]
+    fn realtime_paths_shape_and_covariance() {
+        let k = paper_covariance_matrix_22();
+        let base = RealtimeConfig {
+            covariance: k.clone(),
+            idft_size: 512,
+            normalized_doppler: 0.05,
+            sigma_orig_sq: 0.5,
+            seed: 5,
+        };
+        let paths = generate_realtime_paths(&base, 24, &config(4, 5)).unwrap();
+        assert_eq!(paths.len(), 3);
+        assert!(paths.iter().all(|p| p.len() == 24 * 512));
+        let khat = corrfade_stats::sample_covariance_from_paths(&paths);
+        let err = relative_frobenius_error(&khat, &k);
+        assert!(err < 0.12, "relative covariance error {err}");
+    }
+
+    #[test]
+    fn realtime_paths_are_thread_count_invariant() {
+        let k = paper_covariance_matrix_23();
+        let base = RealtimeConfig {
+            covariance: k,
+            idft_size: 256,
+            normalized_doppler: 0.1,
+            sigma_orig_sq: 0.5,
+            seed: 9,
+        };
+        let a = generate_realtime_paths(&base, 6, &config(1, 0)).unwrap();
+        let b = generate_realtime_paths(&base, 6, &config(3, 0)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn invalid_covariance_is_reported() {
+        let bad = CMatrix::zeros(2, 3);
+        assert!(generate_snapshots(&bad, 100, &config(2, 0)).is_err());
+        assert!(monte_carlo_covariance(&bad, 100, &config(2, 0)).is_err());
+    }
+
+    #[test]
+    fn zero_total_yields_empty_ensemble() {
+        let k = paper_covariance_matrix_22();
+        let snaps = generate_snapshots(&k, 0, &config(2, 0)).unwrap();
+        assert!(snaps.is_empty());
+    }
+}

@@ -1,0 +1,27 @@
+//! # corrfade-parallel
+//!
+//! Multi-threaded Monte-Carlo engine for the `corrfade` generators, built on
+//! crossbeam scoped threads:
+//!
+//! * [`engine::generate_snapshots`] — ordered, thread-count-invariant
+//!   ensembles of independent snapshots,
+//! * [`engine::monte_carlo_covariance`] — streaming estimation of
+//!   `E[Z·Zᴴ]` without materializing the ensemble,
+//! * [`engine::generate_realtime_paths`] — parallel generation of Doppler
+//!   blocks (paper Sec. 5 mode), one block per RNG sub-stream.
+//!
+//! The expensive eigendecomposition is performed once on the calling thread;
+//! workers only execute the `Z = L·W/σ_g` hot path. Chunk seeds are derived
+//! from `(master seed, chunk index)` so results do not depend on the number
+//! of worker threads — the statistical regression tests in the workspace rely
+//! on that property.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod partition;
+
+pub use engine::{
+    generate_realtime_paths, generate_snapshots, monte_carlo_covariance, ParallelConfig,
+};
+pub use partition::{chunk_seed, partition, Chunk};

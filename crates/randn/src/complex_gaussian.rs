@@ -1,0 +1,197 @@
+//! Zero-mean complex Gaussian (circularly-symmetric and per-dimension)
+//! sampling.
+//!
+//! A zero-mean complex Gaussian variable `z = x + iy` with **total** variance
+//! `σ_g² = E|z|²` and independent real/imaginary parts of equal variance
+//! `σ_g²/2` has a Rayleigh-distributed modulus — this is the raw material of
+//! every generator in the workspace (step 6 of the paper's algorithm).
+//!
+//! The paper also stresses the *general* case where the per-dimension
+//! variances differ (`σ_gx² ≠ σ_gy²`, Sec. 4.1); [`ComplexGaussian::split`]
+//! covers it so the test-suite can exercise that corner too.
+
+use corrfade_linalg::{c64, Complex64};
+use rand::Rng;
+
+use crate::normal::{NormalMethod, NormalSampler};
+
+/// Sampler of zero-mean complex Gaussian variables.
+#[derive(Debug, Clone, Default)]
+pub struct ComplexGaussian {
+    sampler: NormalSampler,
+}
+
+impl ComplexGaussian {
+    /// Creates a sampler using the given normal transform.
+    pub fn new(method: NormalMethod) -> Self {
+        Self {
+            sampler: NormalSampler::new(method),
+        }
+    }
+
+    /// Draws one circularly-symmetric sample `CN(0, variance)`: the real and
+    /// imaginary parts are independent `N(0, variance/2)`.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R, variance: f64) -> Complex64 {
+        assert!(variance >= 0.0, "variance must be non-negative, got {variance}");
+        let std = (variance * 0.5).sqrt();
+        c64(
+            self.sampler.sample_with(rng, 0.0, std),
+            self.sampler.sample_with(rng, 0.0, std),
+        )
+    }
+
+    /// Draws one sample with independent per-dimension variances
+    /// `x ~ N(0, var_re)`, `y ~ N(0, var_im)` — the unequal-dimension case of
+    /// Sec. 4.1 of the paper.
+    pub fn sample_split<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        var_re: f64,
+        var_im: f64,
+    ) -> Complex64 {
+        assert!(var_re >= 0.0 && var_im >= 0.0, "variances must be non-negative");
+        c64(
+            self.sampler.sample_with(rng, 0.0, var_re.sqrt()),
+            self.sampler.sample_with(rng, 0.0, var_im.sqrt()),
+        )
+    }
+
+    /// Draws a vector of `n` i.i.d. `CN(0, variance)` samples — exactly the
+    /// vector `W` of step 6 of the paper's algorithm.
+    pub fn sample_vec<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        n: usize,
+        variance: f64,
+    ) -> Vec<Complex64> {
+        (0..n).map(|_| self.sample(rng, variance)).collect()
+    }
+
+    /// Fills a buffer with i.i.d. `CN(0, variance)` samples.
+    pub fn fill<R: Rng + ?Sized>(&mut self, rng: &mut R, buf: &mut [Complex64], variance: f64) {
+        for z in buf.iter_mut() {
+            *z = self.sample(rng, variance);
+        }
+    }
+
+    /// Draws `n` samples of `A[k] − i·B[k]` where `A`, `B` are independent
+    /// real `N(0, σ²_orig)` sequences — the input format of the Young–Beaulieu
+    /// Doppler generator (step 3 of the real-time algorithm, Sec. 5).
+    pub fn sample_doppler_input<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        n: usize,
+        sigma_orig_sq: f64,
+    ) -> Vec<Complex64> {
+        assert!(sigma_orig_sq >= 0.0, "variance must be non-negative");
+        let std = sigma_orig_sq.sqrt();
+        (0..n)
+            .map(|_| {
+                let a = self.sampler.sample_with(rng, 0.0, std);
+                let b = self.sampler.sample_with(rng, 0.0, std);
+                c64(a, -b)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn circular_sample_has_right_variance_split() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut g = ComplexGaussian::default();
+        let n = 200_000;
+        let variance = 2.5;
+        let samples = g.sample_vec(&mut rng, n, variance);
+        let mean: Complex64 = samples.iter().copied().sum::<Complex64>() / n as f64;
+        assert!(mean.abs() < 0.02);
+        let var_total: f64 = samples.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((var_total - variance).abs() < 0.05, "total variance {var_total}");
+        let var_re: f64 = samples.iter().map(|z| z.re * z.re).sum::<f64>() / n as f64;
+        let var_im: f64 = samples.iter().map(|z| z.im * z.im).sum::<f64>() / n as f64;
+        assert!((var_re - variance / 2.0).abs() < 0.05);
+        assert!((var_im - variance / 2.0).abs() < 0.05);
+        // Real and imaginary parts uncorrelated.
+        let cov: f64 = samples.iter().map(|z| z.re * z.im).sum::<f64>() / n as f64;
+        assert!(cov.abs() < 0.02);
+    }
+
+    #[test]
+    fn split_sample_respects_each_dimension() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut g = ComplexGaussian::default();
+        let n = 100_000;
+        let (vr, vi) = (4.0, 0.25);
+        let samples: Vec<Complex64> = (0..n).map(|_| g.sample_split(&mut rng, vr, vi)).collect();
+        let var_re: f64 = samples.iter().map(|z| z.re * z.re).sum::<f64>() / n as f64;
+        let var_im: f64 = samples.iter().map(|z| z.im * z.im).sum::<f64>() / n as f64;
+        assert!((var_re - vr).abs() < 0.1, "var_re = {var_re}");
+        assert!((var_im - vi).abs() < 0.01, "var_im = {var_im}");
+    }
+
+    #[test]
+    fn envelope_of_circular_sample_is_rayleigh_in_the_mean() {
+        // E|z| = sqrt(pi/4 * variance) = 0.8862 * sigma_g  (paper Eq. 14).
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut g = ComplexGaussian::default();
+        let n = 200_000;
+        let variance: f64 = 1.0;
+        let mean_env: f64 = g
+            .sample_vec(&mut rng, n, variance)
+            .iter()
+            .map(|z| z.abs())
+            .sum::<f64>()
+            / n as f64;
+        let expected = 0.8862 * variance.sqrt();
+        assert!(
+            (mean_env - expected).abs() < 0.01,
+            "mean envelope {mean_env}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn doppler_input_format() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut g = ComplexGaussian::default();
+        let n = 100_000;
+        let sigma_orig_sq = 0.5;
+        let samples = g.sample_doppler_input(&mut rng, n, sigma_orig_sq);
+        assert_eq!(samples.len(), n);
+        let var_re: f64 = samples.iter().map(|z| z.re * z.re).sum::<f64>() / n as f64;
+        let var_im: f64 = samples.iter().map(|z| z.im * z.im).sum::<f64>() / n as f64;
+        assert!((var_re - sigma_orig_sq).abs() < 0.02);
+        assert!((var_im - sigma_orig_sq).abs() < 0.02);
+    }
+
+    #[test]
+    fn zero_variance_gives_zero_samples() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut g = ComplexGaussian::default();
+        assert_eq!(g.sample(&mut rng, 0.0), Complex64::ZERO);
+    }
+
+    #[test]
+    fn fill_and_sample_vec_agree() {
+        let mut g1 = ComplexGaussian::default();
+        let mut g2 = ComplexGaussian::default();
+        let mut rng1 = StdRng::seed_from_u64(77);
+        let mut rng2 = StdRng::seed_from_u64(77);
+        let v = g1.sample_vec(&mut rng1, 8, 1.0);
+        let mut buf = vec![Complex64::ZERO; 8];
+        g2.fill(&mut rng2, &mut buf, 1.0);
+        assert_eq!(v, buf);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_variance_rejected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut g = ComplexGaussian::default();
+        let _ = g.sample(&mut rng, -1.0);
+    }
+}

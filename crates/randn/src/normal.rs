@@ -1,0 +1,195 @@
+//! Zero-mean Gaussian sampling on top of a uniform random source.
+//!
+//! The paper's algorithm consumes two kinds of Gaussian input:
+//!
+//! * step 6 (Sec. 4.4): a vector `W` of `N` i.i.d. zero-mean **complex**
+//!   Gaussian samples with common variance `σ_g²`,
+//! * step 3 of the real-time algorithm (Sec. 5): the real sequences
+//!   `{A[k]}`, `{B[k]}` with variance `σ²_orig` feeding the Doppler filter.
+//!
+//! Both reduce to sampling `N(0, 1)` and scaling. Two classic transforms are
+//! provided — Box–Muller and Marsaglia's polar method — mostly so the test
+//! suite can cross-validate them against each other; the polar method is the
+//! default because it avoids the trigonometric calls.
+
+use rand::Rng;
+
+/// Algorithm used to turn uniform variates into standard-normal variates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NormalMethod {
+    /// Marsaglia's polar (rejection) method. Default.
+    #[default]
+    Polar,
+    /// The classic Box–Muller transform.
+    BoxMuller,
+}
+
+/// A reusable sampler of standard-normal variates.
+///
+/// Both supported transforms naturally produce samples in pairs; the spare
+/// sample is cached so no randomness is wasted.
+#[derive(Debug, Clone, Default)]
+pub struct NormalSampler {
+    method: NormalMethod,
+    cached: Option<f64>,
+}
+
+impl NormalSampler {
+    /// Creates a sampler using the given transform.
+    pub fn new(method: NormalMethod) -> Self {
+        Self {
+            method,
+            cached: None,
+        }
+    }
+
+    /// The transform in use.
+    pub fn method(&self) -> NormalMethod {
+        self.method
+    }
+
+    /// Draws one `N(0, 1)` sample using the supplied uniform source.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        if let Some(v) = self.cached.take() {
+            return v;
+        }
+        let (a, b) = match self.method {
+            NormalMethod::Polar => polar_pair(rng),
+            NormalMethod::BoxMuller => box_muller_pair(rng),
+        };
+        self.cached = Some(b);
+        a
+    }
+
+    /// Draws one `N(mean, std²)` sample.
+    pub fn sample_with<R: Rng + ?Sized>(&mut self, rng: &mut R, mean: f64, std: f64) -> f64 {
+        assert!(std >= 0.0, "standard deviation must be non-negative, got {std}");
+        mean + std * self.sample(rng)
+    }
+
+    /// Fills a slice with i.i.d. `N(mean, std²)` samples.
+    pub fn fill<R: Rng + ?Sized>(&mut self, rng: &mut R, buf: &mut [f64], mean: f64, std: f64) {
+        for x in buf.iter_mut() {
+            *x = self.sample_with(rng, mean, std);
+        }
+    }
+
+    /// Discards any cached spare sample (useful when reproducibility across
+    /// differently-sized draws matters more than throughput).
+    pub fn reset(&mut self) {
+        self.cached = None;
+    }
+}
+
+/// One Box–Muller pair of independent `N(0, 1)` samples.
+fn box_muller_pair<R: Rng + ?Sized>(rng: &mut R) -> (f64, f64) {
+    // u1 ∈ (0, 1]: guard against ln(0).
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = 2.0 * core::f64::consts::PI * u2;
+    (r * theta.cos(), r * theta.sin())
+}
+
+/// One Marsaglia-polar pair of independent `N(0, 1)` samples.
+fn polar_pair<R: Rng + ?Sized>(rng: &mut R) -> (f64, f64) {
+    loop {
+        let x: f64 = 2.0 * rng.gen::<f64>() - 1.0;
+        let y: f64 = 2.0 * rng.gen::<f64>() - 1.0;
+        let s = x * x + y * y;
+        if s > 0.0 && s < 1.0 {
+            let f = (-2.0 * s.ln() / s).sqrt();
+            return (x * f, y * f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn moments(samples: &[f64]) -> (f64, f64, f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        let skew = samples.iter().map(|x| (x - mean).powi(3)).sum::<f64>() / n / var.powf(1.5);
+        let kurt = samples.iter().map(|x| (x - mean).powi(4)).sum::<f64>() / n / var.powi(2);
+        (mean, var, skew, kurt)
+    }
+
+    fn check_standard_normal(method: NormalMethod) {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut sampler = NormalSampler::new(method);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| sampler.sample(&mut rng)).collect();
+        let (mean, var, skew, kurt) = moments(&samples);
+        assert!(mean.abs() < 0.01, "{method:?}: mean = {mean}");
+        assert!((var - 1.0).abs() < 0.02, "{method:?}: var = {var}");
+        assert!(skew.abs() < 0.03, "{method:?}: skew = {skew}");
+        assert!((kurt - 3.0).abs() < 0.1, "{method:?}: kurtosis = {kurt}");
+    }
+
+    #[test]
+    fn polar_produces_standard_normal_moments() {
+        check_standard_normal(NormalMethod::Polar);
+    }
+
+    #[test]
+    fn box_muller_produces_standard_normal_moments() {
+        check_standard_normal(NormalMethod::BoxMuller);
+    }
+
+    #[test]
+    fn sample_with_scales_and_shifts() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut sampler = NormalSampler::default();
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| sampler.sample_with(&mut rng, 3.0, 2.0)).collect();
+        let (mean, var, _, _) = moments(&samples);
+        assert!((mean - 3.0).abs() < 0.03);
+        assert!((var - 4.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn fill_matches_repeated_sampling() {
+        let mut rng1 = StdRng::seed_from_u64(11);
+        let mut rng2 = StdRng::seed_from_u64(11);
+        let mut s1 = NormalSampler::default();
+        let mut s2 = NormalSampler::default();
+        let mut buf = [0.0; 16];
+        s1.fill(&mut rng1, &mut buf, 0.0, 1.0);
+        for &b in &buf {
+            assert_eq!(b, s2.sample_with(&mut rng2, 0.0, 1.0));
+        }
+    }
+
+    #[test]
+    fn reset_discards_cached_sample() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut s = NormalSampler::default();
+        let _ = s.sample(&mut rng);
+        s.reset();
+        assert!(s.cached.is_none());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = NormalSampler::default();
+        let mut b = NormalSampler::default();
+        let mut rng_a = StdRng::seed_from_u64(123);
+        let mut rng_b = StdRng::seed_from_u64(123);
+        for _ in 0..100 {
+            assert_eq!(a.sample(&mut rng_a), b.sample(&mut rng_b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_std_rejected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut s = NormalSampler::default();
+        let _ = s.sample_with(&mut rng, 0.0, -1.0);
+    }
+}

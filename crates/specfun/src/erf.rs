@@ -1,0 +1,124 @@
+//! Error function and related helpers.
+//!
+//! Used by the statistics crate for normal-distribution goodness-of-fit
+//! checks on the real/imaginary parts of the generated complex Gaussian
+//! variables (they must be `N(0, σ²/2)` for the envelopes to be Rayleigh).
+
+use crate::gamma::{gamma_p, gamma_q};
+
+/// The error function `erf(x) = 2/√π ∫₀ˣ e^{−t²} dt`.
+pub fn erf(x: f64) -> f64 {
+    if x == 0.0 {
+        return 0.0;
+    }
+    let v = gamma_p(0.5, x * x);
+    if x > 0.0 {
+        v
+    } else {
+        -v
+    }
+}
+
+/// The complementary error function `erfc(x) = 1 − erf(x)`, accurate for
+/// large positive `x` where `erf(x) → 1`.
+pub fn erfc(x: f64) -> f64 {
+    if x == 0.0 {
+        return 1.0;
+    }
+    if x > 0.0 {
+        gamma_q(0.5, x * x)
+    } else {
+        1.0 + gamma_p(0.5, x * x)
+    }
+}
+
+/// CDF of the standard normal distribution.
+pub fn standard_normal_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / core::f64::consts::SQRT_2)
+}
+
+/// CDF of a zero-mean normal distribution with standard deviation `sigma`.
+pub fn normal_cdf(x: f64, mean: f64, sigma: f64) -> f64 {
+    assert!(sigma > 0.0, "normal_cdf requires sigma > 0");
+    standard_normal_cdf((x - mean) / sigma)
+}
+
+/// CDF of the Rayleigh distribution with scale `sigma` (mode):
+/// `F(r) = 1 − exp(−r²/(2σ²))` for `r ≥ 0`.
+///
+/// In the paper's notation an envelope `r = |z|` of a complex Gaussian with
+/// total variance `σg²` is Rayleigh with scale `σ = σg/√2`.
+pub fn rayleigh_cdf(r: f64, sigma: f64) -> f64 {
+    assert!(sigma > 0.0, "rayleigh_cdf requires sigma > 0");
+    if r <= 0.0 {
+        0.0
+    } else {
+        -(-r * r / (2.0 * sigma * sigma)).exp_m1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_reference_values() {
+        // Abramowitz & Stegun Table 7.1 / scipy.special.erf
+        let cases = [
+            (0.0, 0.0),
+            (0.1, 0.112462916018285),
+            (0.5, 0.520499877813047),
+            (1.0, 0.842700792949715),
+            (1.5, 0.966105146475311),
+            (2.0, 0.995322265018953),
+            (3.0, 0.999977909503001),
+        ];
+        for (x, expected) in cases {
+            assert!(
+                (erf(x) - expected).abs() < 1e-10,
+                "erf({x}) = {}, expected {expected}",
+                erf(x)
+            );
+            assert!((erf(-x) + expected).abs() < 1e-10, "erf must be odd");
+        }
+    }
+
+    #[test]
+    fn erfc_complements_erf() {
+        for &x in &[-2.0, -0.5, 0.0, 0.3, 1.0, 2.5, 4.0] {
+            assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn erfc_tail_accuracy() {
+        // scipy.special.erfc(5) = 1.5374597944280347e-12
+        assert!((erfc(5.0) - 1.537459794428035e-12).abs() < 1e-24);
+    }
+
+    #[test]
+    fn standard_normal_cdf_values() {
+        assert!((standard_normal_cdf(0.0) - 0.5).abs() < 1e-14);
+        assert!((standard_normal_cdf(1.959963984540054) - 0.975).abs() < 1e-10);
+        assert!((standard_normal_cdf(-1.959963984540054) - 0.025).abs() < 1e-10);
+        assert!((normal_cdf(2.0, 1.0, 0.5) - standard_normal_cdf(2.0)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn rayleigh_cdf_properties() {
+        assert_eq!(rayleigh_cdf(-1.0, 1.0), 0.0);
+        assert_eq!(rayleigh_cdf(0.0, 1.0), 0.0);
+        // Median of Rayleigh(sigma) is sigma*sqrt(2 ln 2).
+        let sigma = 1.7;
+        let median = sigma * (2.0f64 * (2.0f64).ln()).sqrt();
+        assert!((rayleigh_cdf(median, sigma) - 0.5).abs() < 1e-12);
+        assert!(rayleigh_cdf(1e9, sigma) <= 1.0);
+        assert!((rayleigh_cdf(1e3, sigma) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma > 0")]
+    fn rayleigh_cdf_rejects_bad_sigma() {
+        let _ = rayleigh_cdf(1.0, 0.0);
+    }
+}

@@ -1,0 +1,26 @@
+//! # corrfade-specfun
+//!
+//! Special functions required by the correlated Rayleigh-fading models:
+//!
+//! * Bessel functions of the first kind `J₀`, `J₁`, `Jₙ`
+//!   ([`bessel`]) — the spectral covariance of Eq. (3), the spatial
+//!   covariance series of Eq. (5)–(6) and the Doppler autocorrelation
+//!   target `J₀(2π·fm·d)` of Eq. (20) of the paper,
+//! * gamma / incomplete-gamma functions ([`gamma`]) — chi-square
+//!   goodness-of-fit p-values used to validate the generated envelopes,
+//! * error function and the normal / Rayleigh CDFs ([`erf`]) —
+//!   Kolmogorov–Smirnov tests on the marginals.
+//!
+//! Everything is implemented from scratch (series, asymptotic expansions,
+//! Lanczos approximation, Lentz continued fractions) because no numerical
+//! special-function crate is available in the offline dependency set.
+
+#![warn(missing_docs)]
+
+pub mod bessel;
+pub mod erf;
+pub mod gamma;
+
+pub use bessel::{bessel_j0, bessel_j1, bessel_jn};
+pub use erf::{erf, erfc, normal_cdf, rayleigh_cdf, standard_normal_cdf};
+pub use gamma::{chi_square_sf, gamma, gamma_p, gamma_q, ln_gamma};

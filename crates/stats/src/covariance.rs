@@ -1,0 +1,199 @@
+//! Sample covariance estimation for complex Gaussian processes.
+//!
+//! The headline claim of the paper is `E(Z·Zᴴ) = K̄` (Sec. 4.5): the sample
+//! covariance of the generated vectors must converge to the (PSD-forced)
+//! desired covariance matrix. This module estimates that matrix from the
+//! generated sample paths, along with the four real covariances
+//! `Rxx`, `Ryy`, `Rxy`, `Ryx` of Eq. (1)–(2) so tests can verify the
+//! decomposition in Eq. (13) term by term.
+
+use corrfade_linalg::{c64, CMatrix, Complex64};
+
+/// Sample covariance matrix `K̂ = (1/S)·Σ_s z_s·z_sᴴ` of `N` zero-mean
+/// complex processes observed over `S` snapshots.
+///
+/// `samples[s]` is the length-`N` snapshot at time `s` (one draw of the
+/// vector `Z` of the paper).
+///
+/// # Panics
+/// Panics if the snapshots are ragged or there are none.
+pub fn sample_covariance(samples: &[Vec<Complex64>]) -> CMatrix {
+    assert!(!samples.is_empty(), "sample_covariance: no snapshots");
+    let n = samples[0].len();
+    let mut k = CMatrix::zeros(n, n);
+    for (s, snap) in samples.iter().enumerate() {
+        assert_eq!(snap.len(), n, "sample_covariance: snapshot {s} has ragged length");
+        for i in 0..n {
+            for j in 0..n {
+                k[(i, j)] += snap[i] * snap[j].conj();
+            }
+        }
+    }
+    k.scale_real(1.0 / samples.len() as f64)
+}
+
+/// Sample covariance from per-process sample paths: `paths[j]` is the whole
+/// time series of process `j` (all paths must have equal length). This is the
+/// transposed layout of [`sample_covariance`], convenient when the generator
+/// returns one long sequence per envelope.
+///
+/// # Panics
+/// Panics if the paths are ragged or empty.
+pub fn sample_covariance_from_paths(paths: &[Vec<Complex64>]) -> CMatrix {
+    assert!(!paths.is_empty(), "sample_covariance_from_paths: no paths");
+    let len = paths[0].len();
+    assert!(len > 0, "sample_covariance_from_paths: empty paths");
+    let n = paths.len();
+    let mut k = CMatrix::zeros(n, n);
+    for i in 0..n {
+        assert_eq!(paths[i].len(), len, "sample_covariance_from_paths: path {i} has ragged length");
+        for j in 0..n {
+            let mut acc = Complex64::ZERO;
+            for s in 0..len {
+                acc += paths[i][s] * paths[j][s].conj();
+            }
+            k[(i, j)] = acc.unscale(len as f64);
+        }
+    }
+    k
+}
+
+/// The four real cross-covariances of Eq. (1)–(2) between processes `k` and
+/// `j`, estimated from their sample paths:
+/// `(Rxx, Ryy, Rxy, Ryx)` with `Rxy = E[x_k·y_j]` etc.
+///
+/// # Panics
+/// Panics if the paths have different lengths.
+pub fn real_imag_covariances(
+    path_k: &[Complex64],
+    path_j: &[Complex64],
+) -> (f64, f64, f64, f64) {
+    assert_eq!(path_k.len(), path_j.len(), "real_imag_covariances: length mismatch");
+    assert!(!path_k.is_empty(), "real_imag_covariances: empty paths");
+    let n = path_k.len() as f64;
+    let mut rxx = 0.0;
+    let mut ryy = 0.0;
+    let mut rxy = 0.0;
+    let mut ryx = 0.0;
+    for (&zk, &zj) in path_k.iter().zip(path_j.iter()) {
+        rxx += zk.re * zj.re;
+        ryy += zk.im * zj.im;
+        rxy += zk.re * zj.im;
+        ryx += zk.im * zj.re;
+    }
+    (rxx / n, ryy / n, rxy / n, ryx / n)
+}
+
+/// Assembles the complex covariance `µ_{k,j}` of Eq. (13) from the four real
+/// covariances: `(Rxx + Ryy) − i·(Rxy − Ryx)`.
+pub fn complex_covariance_from_parts(rxx: f64, ryy: f64, rxy: f64, ryx: f64) -> Complex64 {
+    c64(rxx + ryy, -(rxy - ryx))
+}
+
+/// Correlation-coefficient matrix obtained by normalizing a covariance
+/// matrix: `ρ_{k,j} = K_{k,j} / √(K_{k,k}·K_{j,j})`.
+///
+/// # Panics
+/// Panics if the matrix is not square or has a non-positive diagonal entry.
+pub fn correlation_from_covariance(k: &CMatrix) -> CMatrix {
+    assert!(k.is_square(), "correlation_from_covariance: matrix must be square");
+    let n = k.rows();
+    let mut diag = Vec::with_capacity(n);
+    for i in 0..n {
+        let d = k[(i, i)].re;
+        assert!(d > 0.0, "correlation_from_covariance: non-positive variance at index {i}");
+        diag.push(d);
+    }
+    CMatrix::from_fn(n, n, |i, j| k[(i, j)].unscale((diag[i] * diag[j]).sqrt()))
+}
+
+/// Relative Frobenius error `‖K̂ − K‖_F / ‖K‖_F` — the figure of merit used
+/// throughout the experiments to quantify how well the generated samples
+/// achieve the desired covariance.
+pub fn relative_frobenius_error(achieved: &CMatrix, desired: &CMatrix) -> f64 {
+    let denom = desired.frobenius_norm().max(f64::MIN_POSITIVE);
+    achieved.frobenius_distance(desired) / denom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covariance_of_deterministic_snapshots() {
+        // Two snapshots of a 2-vector with known outer products.
+        let s1 = vec![c64(1.0, 0.0), c64(0.0, 1.0)];
+        let s2 = vec![c64(0.0, 2.0), c64(2.0, 0.0)];
+        let k = sample_covariance(&[s1, s2]);
+        // K[0][0] = (|1|^2 + |2i|^2)/2 = 2.5
+        assert!((k[(0, 0)].re - 2.5).abs() < 1e-12);
+        // K[0][1] = (1*conj(i) + 2i*conj(2))/2 = (-i + 4i)/2 = 1.5i
+        assert!(k[(0, 1)].approx_eq(c64(0.0, 1.5), 1e-12));
+        // Hermitian.
+        assert!(k[(1, 0)].approx_eq(k[(0, 1)].conj(), 1e-12));
+    }
+
+    #[test]
+    fn paths_and_snapshots_agree() {
+        let snapshots = vec![
+            vec![c64(1.0, 1.0), c64(2.0, -1.0)],
+            vec![c64(-1.0, 0.5), c64(0.0, 1.0)],
+            vec![c64(0.25, -2.0), c64(1.0, 1.0)],
+        ];
+        let paths: Vec<Vec<Complex64>> = (0..2)
+            .map(|j| snapshots.iter().map(|s| s[j]).collect())
+            .collect();
+        let k1 = sample_covariance(&snapshots);
+        let k2 = sample_covariance_from_paths(&paths);
+        assert!(k1.approx_eq(&k2, 1e-12));
+    }
+
+    #[test]
+    fn real_imag_parts_compose_to_complex_covariance() {
+        let a = vec![c64(1.0, 2.0), c64(-0.5, 1.0), c64(2.0, -1.0)];
+        let b = vec![c64(0.5, -1.0), c64(1.5, 0.5), c64(-1.0, 2.0)];
+        let (rxx, ryy, rxy, ryx) = real_imag_covariances(&a, &b);
+        let mu = complex_covariance_from_parts(rxx, ryy, rxy, ryx);
+        // Must equal E[z_a conj(z_b)] directly.
+        let direct: Complex64 = a
+            .iter()
+            .zip(b.iter())
+            .map(|(&x, &y)| x * y.conj())
+            .sum::<Complex64>()
+            / 3.0;
+        assert!(mu.approx_eq(direct, 1e-12));
+    }
+
+    #[test]
+    fn correlation_matrix_has_unit_diagonal() {
+        let k = CMatrix::from_rows(&[
+            vec![c64(4.0, 0.0), c64(1.0, 1.0)],
+            vec![c64(1.0, -1.0), c64(9.0, 0.0)],
+        ]);
+        let rho = correlation_from_covariance(&k);
+        assert!(rho[(0, 0)].approx_eq(Complex64::ONE, 1e-12));
+        assert!(rho[(1, 1)].approx_eq(Complex64::ONE, 1e-12));
+        assert!(rho[(0, 1)].approx_eq(c64(1.0 / 6.0, 1.0 / 6.0), 1e-12));
+    }
+
+    #[test]
+    fn relative_error_metric() {
+        let a = CMatrix::identity(3);
+        let b = CMatrix::identity(3).scale_real(1.1);
+        let e = relative_frobenius_error(&b, &a);
+        assert!((e - 0.1).abs() < 1e-12);
+        assert_eq!(relative_frobenius_error(&a, &a), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no snapshots")]
+    fn empty_input_rejected() {
+        let _ = sample_covariance(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_snapshots_rejected() {
+        let _ = sample_covariance(&[vec![Complex64::ZERO], vec![Complex64::ZERO, Complex64::ZERO]]);
+    }
+}

@@ -1,0 +1,176 @@
+//! Second-order fading statistics: level-crossing rate (LCR) and average
+//! fade duration (AFD).
+//!
+//! These are the standard figures of merit used to judge whether a fading
+//! simulator reproduces realistic temporal behaviour (Rappaport, ref. [9] of
+//! the paper). For a Rayleigh process with maximum Doppler frequency `f_m`
+//! and normalized threshold `ρ = R/R_rms`:
+//!
+//! ```text
+//! LCR(ρ) = √(2π)·f_m·ρ·e^{−ρ²}            (crossings per second, or per
+//!                                           sample when f_m is normalized)
+//! AFD(ρ) = (e^{ρ²} − 1) / (ρ·f_m·√(2π))
+//! ```
+//!
+//! The experiment harness uses the empirical estimators to verify the
+//! real-time generator produces sequences consistent with the theory.
+
+/// Theoretical level-crossing rate of a Rayleigh process at normalized
+/// threshold `rho = R / R_rms`, per unit of whatever `fm` is expressed in
+/// (crossings per sample when `fm` is the normalized Doppler frequency).
+pub fn theoretical_lcr(rho: f64, fm: f64) -> f64 {
+    assert!(rho >= 0.0, "threshold must be non-negative");
+    assert!(fm >= 0.0, "Doppler frequency must be non-negative");
+    (2.0 * core::f64::consts::PI).sqrt() * fm * rho * (-rho * rho).exp()
+}
+
+/// Theoretical average fade duration of a Rayleigh process at normalized
+/// threshold `rho = R / R_rms` (same time unit as [`theoretical_lcr`]).
+pub fn theoretical_afd(rho: f64, fm: f64) -> f64 {
+    assert!(rho > 0.0, "threshold must be positive");
+    assert!(fm > 0.0, "Doppler frequency must be positive");
+    ((rho * rho).exp() - 1.0) / (rho * fm * (2.0 * core::f64::consts::PI).sqrt())
+}
+
+/// Empirical level-crossing rate: number of upward crossings of `threshold`
+/// divided by the number of samples (crossings per sample).
+///
+/// # Panics
+/// Panics if `envelope` has fewer than two samples.
+pub fn empirical_lcr(envelope: &[f64], threshold: f64) -> f64 {
+    assert!(envelope.len() >= 2, "empirical_lcr: need at least two samples");
+    let crossings = envelope
+        .windows(2)
+        .filter(|w| w[0] < threshold && w[1] >= threshold)
+        .count();
+    crossings as f64 / envelope.len() as f64
+}
+
+/// Empirical average fade duration: mean number of consecutive samples spent
+/// below `threshold`, in samples. Returns `0.0` when the envelope never
+/// fades below the threshold.
+///
+/// # Panics
+/// Panics if `envelope` is empty.
+pub fn empirical_afd(envelope: &[f64], threshold: f64) -> f64 {
+    assert!(!envelope.is_empty(), "empirical_afd: empty envelope");
+    let mut fades = 0usize;
+    let mut total_below = 0usize;
+    let mut in_fade = false;
+    for &r in envelope {
+        if r < threshold {
+            total_below += 1;
+            if !in_fade {
+                fades += 1;
+                in_fade = true;
+            }
+        } else {
+            in_fade = false;
+        }
+    }
+    if fades == 0 {
+        0.0
+    } else {
+        total_below as f64 / fades as f64
+    }
+}
+
+/// Root-mean-square value of an envelope — the reference level for the
+/// normalized threshold `ρ`.
+///
+/// # Panics
+/// Panics if `envelope` is empty.
+pub fn envelope_rms(envelope: &[f64]) -> f64 {
+    assert!(!envelope.is_empty(), "envelope_rms: empty envelope");
+    crate::descriptive::rms(envelope)
+}
+
+/// Converts an envelope to decibels around its RMS value — exactly the y-axis
+/// of the paper's Fig. 4 ("dB around rms value").
+///
+/// # Panics
+/// Panics if `envelope` is empty or its RMS vanishes.
+pub fn envelope_db_around_rms(envelope: &[f64]) -> Vec<f64> {
+    let rms = envelope_rms(envelope);
+    assert!(rms > 0.0, "envelope_db_around_rms: zero RMS");
+    envelope
+        .iter()
+        .map(|&r| 20.0 * (r.max(1e-300) / rms).log10())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theoretical_lcr_peaks_near_rho_of_one_over_sqrt2() {
+        let fm = 0.05;
+        let peak_rho = core::f64::consts::FRAC_1_SQRT_2;
+        let at_peak = theoretical_lcr(peak_rho, fm);
+        assert!(at_peak > theoretical_lcr(0.3, fm));
+        assert!(at_peak > theoretical_lcr(1.5, fm));
+        assert_eq!(theoretical_lcr(0.0, fm), 0.0);
+    }
+
+    #[test]
+    fn theoretical_lcr_scales_linearly_with_fm() {
+        assert!(
+            (theoretical_lcr(1.0, 0.1) - 2.0 * theoretical_lcr(1.0, 0.05)).abs() < 1e-15
+        );
+    }
+
+    #[test]
+    fn lcr_times_afd_equals_outage_probability() {
+        // Identity: LCR(ρ)·AFD(ρ) = Pr[r < ρ·R_rms] = 1 − e^{−ρ²}.
+        for &rho in &[0.1, 0.5, 1.0, 2.0] {
+            for &fm in &[0.01, 0.05, 0.2] {
+                let product = theoretical_lcr(rho, fm) * theoretical_afd(rho, fm);
+                let outage = 1.0 - (-rho * rho as f64).exp();
+                assert!(
+                    (product - outage).abs() < 1e-12,
+                    "identity failed at rho={rho}, fm={fm}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empirical_lcr_counts_upward_crossings() {
+        let env = [0.5, 1.5, 0.5, 1.5, 0.5, 1.5];
+        // Threshold 1.0: upward crossings at indices 0->1, 2->3, 4->5.
+        assert!((empirical_lcr(&env, 1.0) - 3.0 / 6.0).abs() < 1e-12);
+        // Threshold above everything: no crossings.
+        assert_eq!(empirical_lcr(&env, 10.0), 0.0);
+    }
+
+    #[test]
+    fn empirical_afd_measures_fade_lengths() {
+        //            below  below        below
+        let env = [0.1, 0.2, 5.0, 5.0, 0.3, 5.0];
+        // Fades below 1.0: [0.1, 0.2] (length 2) and [0.3] (length 1) → mean 1.5.
+        assert!((empirical_afd(&env, 1.0) - 1.5).abs() < 1e-12);
+        // Never below a tiny threshold.
+        assert_eq!(empirical_afd(&env, 0.01), 0.0);
+    }
+
+    #[test]
+    fn db_conversion_is_zero_at_rms() {
+        let env = vec![2.0; 10];
+        let db = envelope_db_around_rms(&env);
+        for &d in &db {
+            assert!(d.abs() < 1e-12);
+        }
+        // A value at half the RMS is about −6.02 dB.
+        let env2 = [2.0, 2.0, 2.0, 2.0, 1.0];
+        let db2 = envelope_db_around_rms(&env2);
+        let rms = envelope_rms(&env2);
+        assert!((db2[4] - 20.0 * (1.0f64 / rms).log10()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two samples")]
+    fn lcr_needs_two_samples() {
+        let _ = empirical_lcr(&[1.0], 0.5);
+    }
+}

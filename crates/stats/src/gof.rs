@@ -1,0 +1,245 @@
+//! Goodness-of-fit tests.
+//!
+//! The paper validates its generator visually (envelope plots) and
+//! analytically (Eq. 14–15). The experiment harness replaces the visual check
+//! with two quantitative ones applied to every generated envelope:
+//!
+//! * a one-sample **Kolmogorov–Smirnov** test against the theoretical
+//!   Rayleigh CDF,
+//! * a **chi-square** test on a binned histogram against the theoretical
+//!   density.
+
+use corrfade_specfun::chi_square_sf;
+
+use crate::histogram::EmpiricalCdf;
+
+/// Result of a one-sample Kolmogorov–Smirnov test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsTest {
+    /// The KS statistic `D_n = sup_x |F̂(x) − F(x)|`.
+    pub statistic: f64,
+    /// Asymptotic p-value `Pr[D > D_n]` under the null hypothesis.
+    pub p_value: f64,
+    /// Number of samples.
+    pub n: usize,
+}
+
+impl KsTest {
+    /// `true` when the null hypothesis is **not** rejected at significance
+    /// level `alpha`.
+    pub fn passes(&self, alpha: f64) -> bool {
+        self.p_value > alpha
+    }
+}
+
+/// Survival function of the Kolmogorov distribution,
+/// `Q(λ) = 2·Σ_{k≥1} (−1)^{k−1}·e^{−2k²λ²}`.
+pub fn kolmogorov_sf(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64) * (k as f64) * lambda * lambda).exp();
+        sum += sign * term;
+        if term < 1e-16 {
+            break;
+        }
+        sign = -sign;
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+/// One-sample Kolmogorov–Smirnov test of `data` against the hypothesized CDF
+/// `cdf`.
+///
+/// # Panics
+/// Panics if `data` is empty.
+pub fn ks_test(data: &[f64], cdf: impl Fn(f64) -> f64) -> KsTest {
+    assert!(!data.is_empty(), "ks_test: empty data");
+    let ecdf = EmpiricalCdf::new(data);
+    let n = ecdf.len();
+    let mut d = 0.0f64;
+    for (i, &x) in ecdf.sorted_values().iter().enumerate() {
+        let f = cdf(x);
+        let before = i as f64 / n as f64;
+        let after = (i + 1) as f64 / n as f64;
+        d = d.max((f - before).abs()).max((after - f).abs());
+    }
+    // Asymptotic p-value with the standard finite-n correction.
+    let sqrt_n = (n as f64).sqrt();
+    let lambda = (sqrt_n + 0.12 + 0.11 / sqrt_n) * d;
+    KsTest {
+        statistic: d,
+        p_value: kolmogorov_sf(lambda),
+        n,
+    }
+}
+
+/// Result of a chi-square goodness-of-fit test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquareTest {
+    /// The chi-square statistic `Σ (O_i − E_i)²/E_i`.
+    pub statistic: f64,
+    /// Degrees of freedom used for the p-value.
+    pub dof: usize,
+    /// p-value `Pr[χ²_dof > statistic]`.
+    pub p_value: f64,
+}
+
+impl ChiSquareTest {
+    /// `true` when the null hypothesis is **not** rejected at significance
+    /// level `alpha`.
+    pub fn passes(&self, alpha: f64) -> bool {
+        self.p_value > alpha
+    }
+}
+
+/// Chi-square test from observed counts and expected counts (same length).
+/// Bins with an expected count below `min_expected` are merged into their
+/// right neighbour (last bin merges left) to keep the approximation valid.
+/// `extra_constraints` is the number of distribution parameters estimated
+/// from the data (reduces the degrees of freedom).
+///
+/// # Panics
+/// Panics if the slices have different lengths or fewer than two usable bins
+/// remain.
+pub fn chi_square_test(
+    observed: &[f64],
+    expected: &[f64],
+    min_expected: f64,
+    extra_constraints: usize,
+) -> ChiSquareTest {
+    assert_eq!(observed.len(), expected.len(), "chi_square_test: length mismatch");
+    assert!(!observed.is_empty(), "chi_square_test: empty input");
+
+    // Merge low-expectation bins.
+    let mut merged: Vec<(f64, f64)> = Vec::new();
+    let mut acc_o = 0.0;
+    let mut acc_e = 0.0;
+    for (&o, &e) in observed.iter().zip(expected.iter()) {
+        acc_o += o;
+        acc_e += e;
+        if acc_e >= min_expected {
+            merged.push((acc_o, acc_e));
+            acc_o = 0.0;
+            acc_e = 0.0;
+        }
+    }
+    if acc_e > 0.0 || acc_o > 0.0 {
+        if let Some(last) = merged.last_mut() {
+            last.0 += acc_o;
+            last.1 += acc_e;
+        } else {
+            merged.push((acc_o, acc_e));
+        }
+    }
+    assert!(
+        merged.len() >= 2,
+        "chi_square_test: fewer than two bins remain after merging"
+    );
+
+    let statistic: f64 = merged
+        .iter()
+        .map(|&(o, e)| if e > 0.0 { (o - e) * (o - e) / e } else { 0.0 })
+        .sum();
+    let dof = merged.len().saturating_sub(1 + extra_constraints).max(1);
+    ChiSquareTest {
+        statistic,
+        dof,
+        p_value: chi_square_sf(statistic, dof as f64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corrfade_specfun::rayleigh_cdf;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn kolmogorov_sf_reference_values() {
+        // Known values of the Kolmogorov distribution.
+        assert!((kolmogorov_sf(1.3581015157406195) - 0.05).abs() < 1e-6);
+        assert!((kolmogorov_sf(1.2238478702170825) - 0.10).abs() < 1e-6);
+        assert!(kolmogorov_sf(0.0) == 1.0);
+        assert!(kolmogorov_sf(3.0) < 1e-7);
+    }
+
+    #[test]
+    fn ks_accepts_samples_from_the_hypothesized_distribution() {
+        let mut rng = StdRng::seed_from_u64(1);
+        // Uniform(0,1) samples against the uniform CDF.
+        let data: Vec<f64> = (0..5000).map(|_| rng.gen::<f64>()).collect();
+        let t = ks_test(&data, |x| x.clamp(0.0, 1.0));
+        assert!(t.passes(0.01), "KS should accept: {t:?}");
+        assert!(t.statistic < 0.03);
+        assert_eq!(t.n, 5000);
+    }
+
+    #[test]
+    fn ks_rejects_samples_from_a_different_distribution() {
+        let mut rng = StdRng::seed_from_u64(2);
+        // Uniform(0,1)^2 is not uniform.
+        let data: Vec<f64> = (0..5000).map(|_| rng.gen::<f64>().powi(2)).collect();
+        let t = ks_test(&data, |x| x.clamp(0.0, 1.0));
+        assert!(!t.passes(0.01), "KS should reject: {t:?}");
+    }
+
+    #[test]
+    fn ks_accepts_rayleigh_envelope_of_gaussian_pairs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let sigma: f64 = 0.7;
+        let mut sampler = corrfade_randn::NormalSampler::default();
+        let data: Vec<f64> = (0..20000)
+            .map(|_| {
+                let x = sampler.sample_with(&mut rng, 0.0, sigma);
+                let y = sampler.sample_with(&mut rng, 0.0, sigma);
+                (x * x + y * y).sqrt()
+            })
+            .collect();
+        let t = ks_test(&data, |r| rayleigh_cdf(r, sigma));
+        assert!(t.passes(0.01), "Rayleigh envelope rejected: {t:?}");
+    }
+
+    #[test]
+    fn chi_square_accepts_matching_counts() {
+        let observed = [98.0, 105.0, 97.0, 100.0, 100.0];
+        let expected = [100.0, 100.0, 100.0, 100.0, 100.0];
+        let t = chi_square_test(&observed, &expected, 5.0, 0);
+        assert!(t.passes(0.05), "{t:?}");
+        assert_eq!(t.dof, 4);
+    }
+
+    #[test]
+    fn chi_square_rejects_grossly_wrong_counts() {
+        let observed = [10.0, 250.0, 10.0, 250.0, 10.0];
+        let expected = [106.0, 106.0, 106.0, 106.0, 106.0];
+        let t = chi_square_test(&observed, &expected, 5.0, 0);
+        assert!(!t.passes(0.05), "{t:?}");
+    }
+
+    #[test]
+    fn chi_square_merges_small_bins() {
+        let observed = [50.0, 1.0, 1.0, 48.0];
+        let expected = [50.0, 0.5, 0.5, 49.0];
+        let t = chi_square_test(&observed, &expected, 5.0, 0);
+        // After merging, fewer dof than bins-1.
+        assert!(t.dof < 3);
+        assert!(t.p_value > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn chi_square_length_mismatch_panics() {
+        let _ = chi_square_test(&[1.0], &[1.0, 2.0], 5.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty data")]
+    fn ks_empty_panics() {
+        let _ = ks_test(&[], |x| x);
+    }
+}

@@ -1,0 +1,220 @@
+//! Histograms, empirical PDFs and empirical CDFs.
+//!
+//! Used to compare the distribution of generated Rayleigh envelopes against
+//! the theoretical Rayleigh density, mirroring the visual checks behind the
+//! paper's Fig. 4 with quantitative ones.
+
+/// A fixed-width histogram over `[lo, hi)`.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins spanning `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty (lo {lo}, hi {hi})");
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Builds a histogram from data, spanning exactly the data range.
+    ///
+    /// # Panics
+    /// Panics if `data` is empty or `bins == 0`.
+    pub fn from_data(data: &[f64], bins: usize) -> Self {
+        assert!(!data.is_empty(), "Histogram::from_data: empty data");
+        let lo = data.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = data.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let hi = if hi > lo { hi * (1.0 + 1e-12) + 1e-300 } else { lo + 1.0 };
+        let mut h = Self::new(lo, hi, bins);
+        h.add_all(data);
+        h
+    }
+
+    /// Adds a single observation.
+    pub fn add(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.counts.len() as f64;
+            let idx = ((x - self.lo) / w) as usize;
+            let idx = idx.min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Adds every observation in the slice.
+    pub fn add_all(&mut self, data: &[f64]) {
+        for &x in data {
+            self.add(x);
+        }
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Bin width.
+    pub fn bin_width(&self) -> f64 {
+        (self.hi - self.lo) / self.counts.len() as f64
+    }
+
+    /// Raw counts per bin.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of observations added (including out-of-range ones).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of observations that fell below / above the range.
+    pub fn out_of_range(&self) -> (u64, u64) {
+        (self.underflow, self.overflow)
+    }
+
+    /// Centre of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        self.lo + (i as f64 + 0.5) * self.bin_width()
+    }
+
+    /// Empirical probability density: `count / (total · bin_width)`.
+    pub fn density(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        let norm = 1.0 / (self.total as f64 * self.bin_width());
+        self.counts.iter().map(|&c| c as f64 * norm).collect()
+    }
+}
+
+/// Empirical cumulative distribution function of a sample.
+#[derive(Debug, Clone)]
+pub struct EmpiricalCdf {
+    sorted: Vec<f64>,
+}
+
+impl EmpiricalCdf {
+    /// Builds the ECDF (the data is copied and sorted).
+    ///
+    /// # Panics
+    /// Panics if `data` is empty.
+    pub fn new(data: &[f64]) -> Self {
+        assert!(!data.is_empty(), "EmpiricalCdf: empty data");
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(core::cmp::Ordering::Equal));
+        Self { sorted }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// `true` when there are no samples (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `F̂(x)` — the fraction of samples ≤ `x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        // Index of the first element strictly greater than x.
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The sorted sample values (used by the KS statistic).
+    pub fn sorted_values(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_land_in_the_right_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.add_all(&[0.5, 1.5, 1.7, 9.99, -1.0, 10.0, 25.0]);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[1], 2);
+        assert_eq!(h.counts()[9], 1);
+        assert_eq!(h.out_of_range(), (1, 2));
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.bins(), 10);
+        assert!((h.bin_width() - 1.0).abs() < 1e-15);
+        assert!((h.bin_center(0) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn density_integrates_to_in_range_fraction() {
+        let mut h = Histogram::new(0.0, 1.0, 20);
+        let data: Vec<f64> = (0..1000).map(|i| (i as f64) / 1000.0).collect();
+        h.add_all(&data);
+        let integral: f64 = h.density().iter().map(|d| d * h.bin_width()).sum();
+        assert!((integral - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_data_covers_the_whole_range() {
+        let data = [3.0, 1.0, 2.0, 5.0, 4.0];
+        let h = Histogram::from_data(&data, 4);
+        assert_eq!(h.out_of_range(), (0, 0));
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.counts().iter().sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn from_data_with_constant_values() {
+        let h = Histogram::from_data(&[2.0, 2.0, 2.0], 3);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.counts().iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_rejected() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    fn empirical_cdf_basics() {
+        let cdf = EmpiricalCdf::new(&[3.0, 1.0, 2.0, 4.0]);
+        assert_eq!(cdf.len(), 4);
+        assert!(!cdf.is_empty());
+        assert_eq!(cdf.eval(0.5), 0.0);
+        assert_eq!(cdf.eval(1.0), 0.25);
+        assert_eq!(cdf.eval(2.5), 0.5);
+        assert_eq!(cdf.eval(100.0), 1.0);
+        assert_eq!(cdf.sorted_values(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn empirical_cdf_with_ties() {
+        let cdf = EmpiricalCdf::new(&[1.0, 1.0, 1.0, 2.0]);
+        assert_eq!(cdf.eval(1.0), 0.75);
+        assert_eq!(cdf.eval(0.999), 0.0);
+    }
+}

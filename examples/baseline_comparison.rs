@@ -1,0 +1,111 @@
+//! Side-by-side comparison of the proposed algorithm with the conventional
+//! methods it generalizes (the paper's references [1]–[6]).
+//!
+//! For a set of scenarios of increasing difficulty, every method is asked to
+//! generate 50 000 snapshots; the table reports whether it could run at all
+//! and, if so, the relative Frobenius error between the achieved and the
+//! desired covariance.
+//!
+//! Run with: `cargo run --release --example baseline_comparison`
+
+use corrfade::CorrelatedRayleighGenerator;
+use corrfade_baselines::{
+    BeaulieuMeraniGenerator, NatarajanGenerator, SalzWintersGenerator, SorooshyariDautGenerator,
+};
+use corrfade_linalg::{c64, CMatrix};
+use corrfade_models::{paper_covariance_matrix_22, paper_covariance_matrix_23};
+use corrfade_stats::{relative_frobenius_error, sample_covariance};
+
+const SNAPSHOTS: usize = 50_000;
+
+fn err_or_fail<F>(build: F, k: &CMatrix) -> String
+where
+    F: FnOnce() -> Result<Vec<Vec<corrfade_linalg::Complex64>>, String>,
+{
+    match build() {
+        Ok(snaps) => {
+            let khat = sample_covariance(&snaps);
+            format!("{:.3}", relative_frobenius_error(&khat, k))
+        }
+        Err(reason) => reason,
+    }
+}
+
+fn main() {
+    let unequal = CMatrix::from_rows(&[
+        vec![c64(2.0, 0.0), c64(0.6, 0.2), c64(0.1, 0.0)],
+        vec![c64(0.6, -0.2), c64(1.0, 0.0), c64(0.3, -0.1)],
+        vec![c64(0.1, 0.0), c64(0.3, 0.1), c64(0.5, 0.0)],
+    ]);
+    let indefinite = CMatrix::from_rows(&[
+        vec![c64(1.0, 0.0), c64(0.9, 0.0), c64(-0.9, 0.0)],
+        vec![c64(0.9, 0.0), c64(1.0, 0.0), c64(0.9, 0.0)],
+        vec![c64(-0.9, 0.0), c64(0.9, 0.0), c64(1.0, 0.0)],
+    ]);
+
+    let scenarios: Vec<(&str, CMatrix)> = vec![
+        ("spatial Eq.(23)", paper_covariance_matrix_23()),
+        ("spectral Eq.(22)", paper_covariance_matrix_22()),
+        ("unequal powers", unequal),
+        ("non-PSD target", indefinite),
+    ];
+
+    println!(
+        "{:<18} {:<14} {:<16} {:<18} {:<14} {:<18}",
+        "scenario", "proposed", "Salz-Winters[1]", "Beaulieu-Merani[4]", "Natarajan[5]", "Sorooshyari-Daut[6]"
+    );
+    println!("(numbers are relative Frobenius errors of the achieved covariance; text = failure reason)");
+
+    for (name, k) in scenarios {
+        let proposed = err_or_fail(
+            || {
+                CorrelatedRayleighGenerator::new(k.clone(), 1)
+                    .map(|mut g| g.generate_snapshots(SNAPSHOTS))
+                    .map_err(|e| format!("fail: {e}"))
+            },
+            &k,
+        );
+        let sw = err_or_fail(
+            || {
+                SalzWintersGenerator::new(&k, 1)
+                    .map(|mut g| g.generate_snapshots(SNAPSHOTS))
+                    .map_err(|_| "fail".to_string())
+            },
+            &k,
+        );
+        let bm = err_or_fail(
+            || {
+                BeaulieuMeraniGenerator::new(&k, 1)
+                    .map(|mut g| g.generate_snapshots(SNAPSHOTS))
+                    .map_err(|_| "fail".to_string())
+            },
+            &k,
+        );
+        let nat = err_or_fail(
+            || {
+                NatarajanGenerator::new_lossy(&k, 1)
+                    .map(|mut g| g.generate_snapshots(SNAPSHOTS))
+                    .map_err(|_| "fail".to_string())
+            },
+            &k,
+        );
+        let sd = err_or_fail(
+            || {
+                SorooshyariDautGenerator::new(&k, 1)
+                    .map(|mut g| g.generate_snapshots(SNAPSHOTS))
+                    .map_err(|_| "fail".to_string())
+            },
+            &k,
+        );
+
+        println!("{name:<18} {proposed:<14} {sw:<16} {bm:<18} {nat:<14} {sd:<18}");
+    }
+
+    println!();
+    println!("Notes:");
+    println!("  * on the non-PSD target the proposed algorithm (and Sorooshyari-Daut) report the");
+    println!("    error against the original, infeasible matrix — the residual error is exactly the");
+    println!("    distance to the closest realizable (PSD) covariance.");
+    println!("  * Natarajan[5] runs in its lossy mode (imaginary parts dropped), so its error on the");
+    println!("    spectral scenario reflects the bias of forcing covariances to be real.");
+}

@@ -1,0 +1,32 @@
+//! # corrfade-suite
+//!
+//! Workspace umbrella crate: re-exports every `corrfade` sub-crate under one
+//! roof and hosts the runnable examples (`examples/`) and the cross-crate
+//! integration tests (`tests/`).
+//!
+//! Library users normally depend on the [`corrfade`] crate directly; this
+//! crate exists so `cargo run --example …` and `cargo test` at the workspace
+//! root exercise the whole stack.
+
+#![warn(missing_docs)]
+
+pub use corrfade;
+pub use corrfade_baselines as baselines;
+pub use corrfade_dsp as dsp;
+pub use corrfade_linalg as linalg;
+pub use corrfade_models as models;
+pub use corrfade_parallel as parallel;
+pub use corrfade_randn as randn;
+pub use corrfade_specfun as specfun;
+pub use corrfade_stats as stats;
+
+/// The version of the workspace, for examples that print a banner.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn version_is_nonempty() {
+        assert!(!super::VERSION.is_empty());
+    }
+}

@@ -1,0 +1,183 @@
+//! Property-based tests (proptest) on the workspace's core invariants:
+//! linear algebra factorizations, the PSD-forcing step, the power
+//! conversions and the generator's covariance realization — exercised on
+//! randomly generated covariance structures rather than hand-picked ones.
+
+use corrfade::{eigen_coloring, force_positive_semidefinite, CorrelatedRayleighGenerator};
+use corrfade_linalg::{c64, hermitian_eigen, CMatrix};
+use proptest::prelude::*;
+
+/// Strategy: a random Hermitian matrix with unit diagonal and off-diagonal
+/// entries of modulus < 1 (a "correlation-like" matrix, not necessarily
+/// PSD).
+fn correlation_like_matrix(max_n: usize) -> impl Strategy<Value = CMatrix> {
+    (2..=max_n)
+        .prop_flat_map(|n| {
+            let pairs = n * (n - 1) / 2;
+            (
+                Just(n),
+                proptest::collection::vec((-0.95f64..0.95, -0.95f64..0.95), pairs),
+            )
+        })
+        .prop_map(|(n, offdiag)| {
+            let mut k = CMatrix::identity(n);
+            let mut it = offdiag.into_iter();
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let (re, im) = it.next().unwrap();
+                    // Scale so the modulus stays below 1.
+                    let z = c64(re, im).scale(0.7);
+                    k[(i, j)] = z;
+                    k[(j, i)] = z.conj();
+                }
+            }
+            k
+        })
+}
+
+/// Strategy: a random Hermitian PSD matrix built as G·Gᴴ + small diagonal.
+fn psd_matrix(max_n: usize) -> impl Strategy<Value = CMatrix> {
+    (2..=max_n)
+        .prop_flat_map(|n| {
+            (
+                Just(n),
+                proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), n * n),
+            )
+        })
+        .prop_map(|(n, entries)| {
+            let g = CMatrix::from_vec(
+                n,
+                n,
+                entries.into_iter().map(|(re, im)| c64(re, im)).collect(),
+            );
+            let mut k = g.aat_adjoint();
+            for i in 0..n {
+                k[(i, i)] = k[(i, i)] + 0.05;
+            }
+            k
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The Hermitian eigendecomposition reconstructs its input and produces
+    /// unitary eigenvectors, for arbitrary Hermitian matrices.
+    #[test]
+    fn eigendecomposition_reconstructs(k in correlation_like_matrix(8)) {
+        let e = hermitian_eigen(&k).unwrap();
+        let rec = e.reconstruct();
+        prop_assert!(rec.approx_eq(&k, 1e-8), "reconstruction error {}", rec.max_abs_diff(&k));
+        let vhv = e.eigenvectors.adjoint().matmul(&e.eigenvectors);
+        prop_assert!(vhv.approx_eq(&CMatrix::identity(k.rows()), 1e-8));
+        // Trace is preserved by the spectrum.
+        let trace: f64 = (0..k.rows()).map(|i| k[(i, i)].re).sum();
+        let spectrum_sum: f64 = e.eigenvalues.iter().sum();
+        prop_assert!((trace - spectrum_sum).abs() < 1e-8 * trace.abs().max(1.0));
+    }
+
+    /// PSD forcing always yields a PSD matrix that is never farther from the
+    /// target (in Frobenius norm) than the ref.-[6] epsilon replacement.
+    #[test]
+    fn psd_forcing_is_psd_and_frobenius_optimal(k in correlation_like_matrix(8)) {
+        let f = force_positive_semidefinite(&k).unwrap();
+        let e = hermitian_eigen(&f.forced).unwrap();
+        prop_assert!(e.is_positive_semidefinite(1e-8));
+
+        let (eps_forced, _) = corrfade_baselines::epsilon_psd_forcing(&k, 1e-3).unwrap();
+        prop_assert!(f.forced.frobenius_distance(&k) <= eps_forced.frobenius_distance(&k) + 1e-12);
+
+        // Idempotence: forcing the forced matrix changes nothing (up to the
+        // round-off of re-decomposing it — tiny negative eigenvalues of order
+        // machine-epsilon may reappear and be re-clipped).
+        let f2 = force_positive_semidefinite(&f.forced).unwrap();
+        prop_assert!(f2.forced.approx_eq(&f.forced, 1e-8));
+        prop_assert!(f2.was_positive_semidefinite);
+        prop_assert!(f2.frobenius_gap < 1e-10 * f.forced.frobenius_norm().max(1.0));
+    }
+
+    /// The eigen coloring realizes exactly the forced covariance for any
+    /// Hermitian target, PSD or not.
+    #[test]
+    fn coloring_realizes_the_forced_covariance(k in correlation_like_matrix(7)) {
+        let c = eigen_coloring(&k).unwrap();
+        prop_assert!(c.realized_covariance().approx_eq(&c.psd.forced, 1e-8));
+    }
+
+    /// For PSD targets the coloring realizes the target itself and Cholesky
+    /// (when it succeeds) realizes the same matrix.
+    #[test]
+    fn coloring_matches_cholesky_on_psd_targets(k in psd_matrix(6)) {
+        let c = eigen_coloring(&k).unwrap();
+        prop_assert!(c.realized_covariance().approx_eq(&k, 1e-7 * k.frobenius_norm().max(1.0)));
+        if let Ok(l) = corrfade_linalg::cholesky(&k) {
+            prop_assert!(l.aat_adjoint().approx_eq(&c.realized_covariance(), 1e-7 * k.frobenius_norm().max(1.0)));
+        }
+    }
+
+    /// Generated samples always have the right dimension, finite values and
+    /// non-negative envelopes, and the generator is deterministic per seed.
+    #[test]
+    fn generator_output_is_well_formed(k in correlation_like_matrix(6), seed in 0u64..1000) {
+        let mut a = CorrelatedRayleighGenerator::new(k.clone(), seed).unwrap();
+        let mut b = CorrelatedRayleighGenerator::new(k.clone(), seed).unwrap();
+        for _ in 0..16 {
+            let sa = a.sample();
+            let sb = b.sample();
+            prop_assert_eq!(sa.gaussian.len(), k.rows());
+            prop_assert!(sa.gaussian.iter().all(|z| z.is_finite()));
+            prop_assert!(sa.envelopes.iter().all(|&r| r.is_finite() && r >= 0.0));
+            prop_assert_eq!(sa, sb);
+        }
+    }
+
+    /// Eq. (11)/(15) power conversions are mutually inverse for any
+    /// non-negative power.
+    #[test]
+    fn power_conversion_round_trip(sigma_r_sq in 0.0f64..1e6) {
+        let sigma_g_sq = corrfade_stats::gaussian_variance_from_envelope_variance(sigma_r_sq);
+        let back = corrfade_stats::envelope_variance(sigma_g_sq);
+        prop_assert!((back - sigma_r_sq).abs() <= 1e-9 * sigma_r_sq.max(1.0));
+        prop_assert!(sigma_g_sq >= sigma_r_sq);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The FFT round-trips and satisfies Parseval for arbitrary signals of
+    /// arbitrary (not necessarily power-of-two) length.
+    #[test]
+    fn fft_round_trip_and_parseval(
+        re in proptest::collection::vec(-100.0f64..100.0, 2..130),
+    ) {
+        let x: Vec<_> = re.iter().enumerate().map(|(i, &r)| c64(r, (i as f64 * 0.37).sin())).collect();
+        let spec = corrfade_dsp::fft(&x);
+        let back = corrfade_dsp::ifft(&spec);
+        let max_err = x.iter().zip(back.iter()).map(|(&a, &b)| (a - b).abs()).fold(0.0, f64::max);
+        prop_assert!(max_err < 1e-7, "round trip error {max_err}");
+        let te: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let fe: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / x.len() as f64;
+        prop_assert!((te - fe).abs() < 1e-6 * te.max(1.0));
+    }
+
+    /// Doppler filters always produce a positive output variance that scales
+    /// linearly with the input variance, and a normalized autocorrelation
+    /// that starts at 1.
+    #[test]
+    fn doppler_filter_invariants(
+        log2_m in 8u32..12,
+        fm in 0.01f64..0.2,
+        sigma in 0.05f64..4.0,
+    ) {
+        let m = 1usize << log2_m;
+        let filter = corrfade_dsp::DopplerFilter::new(m, fm).unwrap();
+        let v1 = filter.output_variance(sigma);
+        let v2 = filter.output_variance(2.0 * sigma);
+        prop_assert!(v1 > 0.0);
+        prop_assert!((v2 - 2.0 * v1).abs() < 1e-12 * v2);
+        let rho = filter.normalized_autocorrelation(8);
+        prop_assert!((rho[0] - 1.0).abs() < 1e-9);
+        prop_assert!(rho.iter().all(|r| r.abs() <= 1.0 + 1e-9));
+    }
+}
