@@ -102,7 +102,9 @@ mod tests {
 
     #[test]
     fn display_names_the_method() {
-        let e = BaselineError::UnequalPowersUnsupported { method: "Ertel-Reed [2]" };
+        let e = BaselineError::UnequalPowersUnsupported {
+            method: "Ertel-Reed [2]",
+        };
         assert!(e.to_string().contains("Ertel-Reed"));
         let e = BaselineError::UnsupportedDimension {
             method: "Beaulieu [3]",
@@ -110,7 +112,10 @@ mod tests {
             requested: 5,
         };
         assert!(e.to_string().contains("N = 2"));
-        let e = BaselineError::CholeskyFailed { method: "Natarajan [5]", pivot: 3 };
+        let e = BaselineError::CholeskyFailed {
+            method: "Natarajan [5]",
+            pivot: 3,
+        };
         assert!(e.to_string().contains("pivot 3"));
         let e = BaselineError::NotPositiveSemidefinite {
             method: "Salz-Winters [1]",

@@ -127,7 +127,9 @@ mod tests {
         assert!(BaselineMethod::SalzWinters.try_generate(&k23, 1).is_ok());
         assert!(BaselineMethod::BeaulieuMerani.try_generate(&k23, 1).is_ok());
         assert!(BaselineMethod::Natarajan.try_generate(&k23, 1).is_ok());
-        assert!(BaselineMethod::SorooshyariDaut.try_generate(&k23, 1).is_ok());
+        assert!(BaselineMethod::SorooshyariDaut
+            .try_generate(&k23, 1)
+            .is_ok());
         assert!(BaselineMethod::ErtelReed.try_generate(&k23, 1).is_err());
         assert!(BaselineMethod::Beaulieu.try_generate(&k23, 1).is_err());
 
@@ -142,22 +144,32 @@ mod tests {
 
         // Unequal powers: only the proposed algorithm and (for real
         // covariances) Natarajan survive.
-        let unequal = CMatrix::from_real_slice(3, 3, &[2.0, 0.3, 0.1, 0.3, 1.0, 0.2, 0.1, 0.2, 0.5]);
-        assert!(BaselineMethod::SalzWinters.try_generate(&unequal, 1).is_err());
-        assert!(BaselineMethod::BeaulieuMerani.try_generate(&unequal, 1).is_err());
-        assert!(BaselineMethod::SorooshyariDaut.try_generate(&unequal, 1).is_err());
+        let unequal =
+            CMatrix::from_real_slice(3, 3, &[2.0, 0.3, 0.1, 0.3, 1.0, 0.2, 0.1, 0.2, 0.5]);
+        assert!(BaselineMethod::SalzWinters
+            .try_generate(&unequal, 1)
+            .is_err());
+        assert!(BaselineMethod::BeaulieuMerani
+            .try_generate(&unequal, 1)
+            .is_err());
+        assert!(BaselineMethod::SorooshyariDaut
+            .try_generate(&unequal, 1)
+            .is_err());
         assert!(BaselineMethod::Natarajan.try_generate(&unequal, 1).is_ok());
 
         // Non-PSD target: the Cholesky- and PSD-requiring methods fail;
         // Sorooshyari-Daut survives through its epsilon forcing.
-        let indefinite = CMatrix::from_real_slice(
-            3,
-            3,
-            &[1.0, 0.9, -0.9, 0.9, 1.0, 0.9, -0.9, 0.9, 1.0],
-        );
-        assert!(BaselineMethod::SalzWinters.try_generate(&indefinite, 1).is_err());
-        assert!(BaselineMethod::BeaulieuMerani.try_generate(&indefinite, 1).is_err());
-        assert!(BaselineMethod::SorooshyariDaut.try_generate(&indefinite, 1).is_ok());
+        let indefinite =
+            CMatrix::from_real_slice(3, 3, &[1.0, 0.9, -0.9, 0.9, 1.0, 0.9, -0.9, 0.9, 1.0]);
+        assert!(BaselineMethod::SalzWinters
+            .try_generate(&indefinite, 1)
+            .is_err());
+        assert!(BaselineMethod::BeaulieuMerani
+            .try_generate(&indefinite, 1)
+            .is_err());
+        assert!(BaselineMethod::SorooshyariDaut
+            .try_generate(&indefinite, 1)
+            .is_ok());
     }
 
     #[test]

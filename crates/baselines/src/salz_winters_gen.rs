@@ -77,10 +77,7 @@ impl SalzWintersGenerator {
         if eig.eigenvalues.iter().any(|&l| l < -PSD_TOL * lambda_max) {
             return Err(BaselineError::NotPositiveSemidefinite {
                 method: "Salz-Winters [1]",
-                min_eigenvalue: *eig
-                    .eigenvalues
-                    .last()
-                    .expect("non-empty eigenvalue list"),
+                min_eigenvalue: *eig.eigenvalues.last().expect("non-empty eigenvalue list"),
             });
         }
 
@@ -167,11 +164,7 @@ mod tests {
     fn rejects_non_psd_covariance() {
         // The failure mode the paper highlights: a non-PSD target makes the
         // real square root complex, so the method cannot proceed.
-        let k = CMatrix::from_real_slice(
-            3,
-            3,
-            &[1.0, 0.9, -0.9, 0.9, 1.0, 0.9, -0.9, 0.9, 1.0],
-        );
+        let k = CMatrix::from_real_slice(3, 3, &[1.0, 0.9, -0.9, 0.9, 1.0, 0.9, -0.9, 0.9, 1.0]);
         assert!(matches!(
             SalzWintersGenerator::new(&k, 1),
             Err(BaselineError::NotPositiveSemidefinite { .. })
@@ -195,6 +188,9 @@ mod tests {
         let k = CMatrix::from_real_slice(2, 2, &[1.0, 1.0, 1.0, 1.0]);
         let mut g = SalzWintersGenerator::new(&k, 3).unwrap();
         let s = g.sample_gaussian();
-        assert!((s[0] - s[1]).abs() < 1e-9, "fully correlated fades must coincide");
+        assert!(
+            (s[0] - s[1]).abs() < 1e-9,
+            "fully correlated fades must coincide"
+        );
     }
 }

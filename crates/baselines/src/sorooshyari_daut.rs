@@ -98,7 +98,10 @@ impl SorooshyariDautGenerator {
         let coloring = match cholesky(&forced) {
             Ok(l) => l,
             Err(LinalgError::NotPositiveDefinite { pivot, .. }) => {
-                return Err(BaselineError::CholeskyFailed { method: METHOD, pivot })
+                return Err(BaselineError::CholeskyFailed {
+                    method: METHOD,
+                    pivot,
+                })
             }
             Err(_) => {
                 return Err(BaselineError::Invalid {
@@ -213,8 +216,8 @@ impl SorooshyariDautRealtimeGenerator {
         let mut paths = vec![Vec::with_capacity(m); n];
         let mut w = vec![Complex64::ZERO; n];
         for l in 0..m {
-            for j in 0..n {
-                w[j] = raw[j][l];
+            for (wj, raw_j) in w.iter_mut().zip(&raw) {
+                *wj = raw_j[l];
             }
             // Flaw reproduced on purpose: ref. [6] inserts the Doppler
             // outputs into its step 6 as if their variance were 1.
@@ -231,7 +234,9 @@ impl SorooshyariDautRealtimeGenerator {
 mod tests {
     use super::*;
     use corrfade_models::{paper_covariance_matrix_22, paper_covariance_matrix_23};
-    use corrfade_stats::{relative_frobenius_error, sample_covariance, sample_covariance_from_paths};
+    use corrfade_stats::{
+        relative_frobenius_error, sample_covariance, sample_covariance_from_paths,
+    };
 
     #[test]
     fn single_instant_mode_works_on_pd_covariances() {
@@ -248,11 +253,7 @@ mod tests {
     #[test]
     fn epsilon_forcing_is_less_precise_than_zero_clipping() {
         // E7's core comparison.
-        let k = CMatrix::from_real_slice(
-            3,
-            3,
-            &[1.0, 0.9, -0.9, 0.9, 1.0, 0.9, -0.9, 0.9, 1.0],
-        );
+        let k = CMatrix::from_real_slice(3, 3, &[1.0, 0.9, -0.9, 0.9, 1.0, 0.9, -0.9, 0.9, 1.0]);
         let (eps_forced, replaced) = epsilon_psd_forcing(&k, 1e-3).unwrap();
         assert_eq!(replaced, 1);
         let zero_forced = corrfade::force_positive_semidefinite(&k).unwrap().forced;
@@ -268,11 +269,7 @@ mod tests {
 
     #[test]
     fn indefinite_covariance_is_handled_via_epsilon() {
-        let k = CMatrix::from_real_slice(
-            3,
-            3,
-            &[1.0, 0.9, -0.9, 0.9, 1.0, 0.9, -0.9, 0.9, 1.0],
-        );
+        let k = CMatrix::from_real_slice(3, 3, &[1.0, 0.9, -0.9, 0.9, 1.0, 0.9, -0.9, 0.9, 1.0]);
         let g = SorooshyariDautGenerator::new(&k, 5).unwrap();
         assert_eq!(g.replaced_eigenvalues(), 1);
         // The forced covariance differs from K (it must — K is not PSD).
@@ -293,11 +290,13 @@ mod tests {
         // E8's core demonstration: the realized covariance is scaled by the
         // Doppler output variance σ_g² ≠ 1 because the method ignores Eq. 19.
         let k = paper_covariance_matrix_22();
-        let mut flawed =
-            SorooshyariDautRealtimeGenerator::new(&k, 1024, 0.05, 0.5, 11).unwrap();
+        let mut flawed = SorooshyariDautRealtimeGenerator::new(&k, 1024, 0.05, 0.5, 11).unwrap();
         assert_eq!(flawed.dimension(), 3);
         let sigma_g_sq = flawed.actual_doppler_variance();
-        assert!((sigma_g_sq - 1.0).abs() > 0.05, "test premise: σ_g² must differ from 1");
+        assert!(
+            (sigma_g_sq - 1.0).abs() > 0.05,
+            "test premise: σ_g² must differ from 1"
+        );
 
         let mut paths: Vec<Vec<Complex64>> = vec![Vec::new(); 3];
         for _ in 0..30 {

@@ -197,7 +197,11 @@ mod tests {
         let k = corrfade_models::paper_covariance_matrix_22();
         assert!(matches!(
             ErtelReedGenerator::new(&k, 1),
-            Err(BaselineError::UnsupportedDimension { supported: 2, requested: 3, .. })
+            Err(BaselineError::UnsupportedDimension {
+                supported: 2,
+                requested: 3,
+                ..
+            })
         ));
     }
 

@@ -2,8 +2,8 @@
 //! experiments (E1/E2) from the correlation models — Eq. (3)-(4) + (12)-(13)
 //! for the spectral case and Eq. (5)-(7) + (12)-(13) for the spatial case.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use corrfade_models::{paper_spatial_scenario, paper_spectral_scenario, SalzWintersSpatialModel};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_paper_matrices(c: &mut Criterion) {
     let mut group = c.benchmark_group("covariance_build/paper");

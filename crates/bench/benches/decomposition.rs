@@ -3,9 +3,9 @@
 //! factorization (conventional coloring path) as the number of envelopes
 //! grows, on both real and genuinely complex covariance matrices.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use corrfade_bench::scenarios::{complex_exponential_correlation, exponential_correlation};
 use corrfade_linalg::{cholesky, hermitian_eigen};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_real_covariances(c: &mut Criterion) {
     let mut group = c.benchmark_group("decomposition/real");

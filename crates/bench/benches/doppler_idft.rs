@@ -2,10 +2,10 @@
 //! design (Eq. 21), the M-point IDFT and one full single-envelope generation,
 //! for the paper's M = 4096 and neighbouring sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use corrfade_dsp::{fft, ifft, DopplerFilter, IdftRayleighGenerator};
 use corrfade_linalg::c64;
 use corrfade_randn::RandomStream;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn bench_filter_design(c: &mut Criterion) {
     let mut group = c.benchmark_group("doppler/filter_design");
@@ -28,7 +28,9 @@ fn bench_ifft(c: &mut Criterion) {
     }
     // Non-power-of-two goes through Bluestein.
     group.bench_function("bluestein_4000", |b| {
-        let x: Vec<_> = (0..4000).map(|i| c64((i as f64 * 0.1).sin(), 0.2)).collect();
+        let x: Vec<_> = (0..4000)
+            .map(|i| c64((i as f64 * 0.1).sin(), 0.2))
+            .collect();
         b.iter(|| fft(&x))
     });
     group.finish();

@@ -3,9 +3,9 @@
 //! (Fig. 4a) and spatial (Fig. 4b) scenarios, plus the single-instant mode
 //! for reference.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use corrfade::{CorrelatedRayleighGenerator, RealtimeConfig, RealtimeGenerator};
 use corrfade_models::{paper_covariance_matrix_22, paper_covariance_matrix_23};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 fn bench_realtime_blocks(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig4/realtime_block_m4096");

@@ -1,11 +1,11 @@
 //! Bench: throughput of the Monte-Carlo engine of experiment E9 —
-//! single-threaded generation vs the crossbeam engine at several worker
+//! single-threaded generation vs the scoped-thread engine at several worker
 //! counts, and the streaming covariance estimator.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use corrfade::CorrelatedRayleighGenerator;
 use corrfade_bench::scenarios::exponential_correlation;
 use corrfade_parallel::{generate_snapshots, monte_carlo_covariance, ParallelConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 const N: usize = 16;
 const TOTAL: usize = 100_000;
@@ -61,5 +61,9 @@ fn bench_streaming_covariance(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_snapshot_generation, bench_streaming_covariance);
+criterion_group!(
+    benches,
+    bench_snapshot_generation,
+    bench_streaming_covariance
+);
 criterion_main!(benches);

@@ -3,10 +3,10 @@
 //! of growing size, plus the pure forcing step on PSD inputs (the fast
 //! path).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use corrfade::force_positive_semidefinite;
 use corrfade_baselines::epsilon_psd_forcing;
 use corrfade_bench::scenarios::{exponential_correlation, indefinite_correlation};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_forcing_indefinite(c: &mut Criterion) {
     let mut group = c.benchmark_group("psd_forcing/indefinite");
@@ -33,5 +33,9 @@ fn bench_forcing_psd_fast_path(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_forcing_indefinite, bench_forcing_psd_fast_path);
+criterion_group!(
+    benches,
+    bench_forcing_indefinite,
+    bench_forcing_psd_fast_path
+);
 criterion_main!(benches);

@@ -3,10 +3,10 @@
 //! ensembles. These dominate the wall-clock of the Monte-Carlo experiments,
 //! so their cost matters as much as the generator's.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use corrfade::CorrelatedRayleighGenerator;
 use corrfade_models::paper_covariance_matrix_22;
 use corrfade_stats::{ks_test, sample_covariance};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_sample_covariance(c: &mut Criterion) {
     let mut group = c.benchmark_group("validation/sample_covariance");
@@ -29,7 +29,8 @@ fn bench_ks_test(c: &mut Criterion) {
     let mut group = c.benchmark_group("validation/rayleigh_ks_test");
     for &n in &[1_000usize, 10_000, 100_000] {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let mut gen = CorrelatedRayleighGenerator::new(paper_covariance_matrix_22(), 5).unwrap();
+            let mut gen =
+                CorrelatedRayleighGenerator::new(paper_covariance_matrix_22(), 5).unwrap();
             let env: Vec<f64> = gen.generate_envelope_paths(n).remove(0);
             let sigma = corrfade_stats::rayleigh_scale(1.0);
             b.iter(|| ks_test(&env, |r| corrfade_specfun::rayleigh_cdf(r, sigma)))

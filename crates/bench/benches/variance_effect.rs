@@ -2,10 +2,10 @@
 //! variance-aware (proposed) vs unit-variance-assuming (ref. [6]) — at the
 //! same Doppler/IDFT settings, to show the correction costs nothing.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use corrfade::{RealtimeConfig, RealtimeGenerator};
 use corrfade_baselines::SorooshyariDautRealtimeGenerator;
 use corrfade_models::paper_covariance_matrix_22;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 const M: usize = 2048;
 const FM: f64 = 0.05;
@@ -28,14 +28,9 @@ fn bench_realtime_combinations(c: &mut Criterion) {
     });
 
     group.bench_function("ref6_unit_variance_assumption", |b| {
-        let mut gen = SorooshyariDautRealtimeGenerator::new(
-            &paper_covariance_matrix_22(),
-            M,
-            FM,
-            0.5,
-            1,
-        )
-        .unwrap();
+        let mut gen =
+            SorooshyariDautRealtimeGenerator::new(&paper_covariance_matrix_22(), M, FM, 0.5, 1)
+                .unwrap();
         b.iter(|| gen.generate_block())
     });
     group.finish();

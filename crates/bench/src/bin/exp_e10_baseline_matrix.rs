@@ -13,7 +13,9 @@
 use corrfade::CorrelatedRayleighGenerator;
 use corrfade_baselines::{two_envelope_covariance, BaselineMethod};
 use corrfade_bench::report;
-use corrfade_bench::scenarios::{indefinite_correlation, near_singular_correlation, unequal_power_exponential};
+use corrfade_bench::scenarios::{
+    indefinite_correlation, near_singular_correlation, unequal_power_exponential,
+};
 use corrfade_linalg::{c64, CMatrix};
 use corrfade_models::{paper_covariance_matrix_22, paper_covariance_matrix_23};
 
@@ -21,7 +23,10 @@ fn scenarios() -> Vec<(&'static str, CMatrix)> {
     vec![
         ("S1 spatial Eq.(23)", paper_covariance_matrix_23()),
         ("S2 spectral Eq.(22)", paper_covariance_matrix_22()),
-        ("S3 N=2 complex corr", two_envelope_covariance(1.0, c64(0.5, 0.4))),
+        (
+            "S3 N=2 complex corr",
+            two_envelope_covariance(1.0, c64(0.5, 0.4)),
+        ),
         ("S4 unequal powers", unequal_power_exponential(3, 0.6, 0.5)),
         ("S5 non-PSD target", indefinite_correlation(3, 0.9)),
         ("S6 near-singular", near_singular_correlation(4, 1e-9)),

@@ -12,7 +12,11 @@ fn main() {
     report::section("E1: spectral (OFDM) covariance matrix — paper Eq. (22)");
 
     let params = ChannelParams::paper_defaults();
-    report::compare_scalar("maximum Doppler frequency Fm [Hz]", 50.0, params.max_doppler_hz());
+    report::compare_scalar(
+        "maximum Doppler frequency Fm [Hz]",
+        50.0,
+        params.max_doppler_hz(),
+    );
     report::compare_scalar("normalized Doppler fm", 0.05, params.normalized_doppler());
 
     let computed = computed_spectral_covariance();
@@ -32,5 +36,8 @@ fn main() {
 
     // The paper asserts Eq. (22) is positive definite.
     let pd = corrfade_linalg::is_positive_definite(&computed);
-    println!("positive definite (paper: yes)                 measured: {}", if pd { "yes" } else { "no" });
+    println!(
+        "positive definite (paper: yes)                 measured: {}",
+        if pd { "yes" } else { "no" }
+    );
 }

@@ -19,8 +19,15 @@ fn main() {
 
     report::compare_scalar("K[1,2] (adjacent antennas)", 0.8123, computed[(0, 1)].re);
     report::compare_scalar("K[1,3] (outer antennas)", 0.3730, computed[(0, 2)].re);
-    report::compare_scalar("Im K[1,2] (must vanish at Phi = 0)", 0.0, computed[(0, 1)].im);
+    report::compare_scalar(
+        "Im K[1,2] (must vanish at Phi = 0)",
+        0.0,
+        computed[(0, 1)].im,
+    );
 
     let pd = corrfade_linalg::is_positive_definite(&computed);
-    println!("positive definite (paper: yes)                 measured: {}", if pd { "yes" } else { "no" });
+    println!(
+        "positive definite (paper: yes)                 measured: {}",
+        if pd { "yes" } else { "no" }
+    );
 }

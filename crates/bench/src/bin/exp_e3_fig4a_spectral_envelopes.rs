@@ -18,14 +18,7 @@ fn main() {
     // The 200-sample traces of Fig. 4(a) (dB around RMS), dumped for plotting.
     let traces = fig4_envelope_traces(k.clone(), 200, 0x4a);
     let rows: Vec<Vec<f64>> = (0..200)
-        .map(|i| {
-            vec![
-                i as f64,
-                traces[0][i],
-                traces[1][i],
-                traces[2][i],
-            ]
-        })
+        .map(|i| vec![i as f64, traces[0][i], traces[1][i], traces[2][i]])
         .collect();
     report::write_csv(
         "fig4a_spectral_envelopes.csv",

@@ -7,8 +7,8 @@
 //! * non-PSD targets are replaced by their closest PSD approximation.
 
 use corrfade::{CorrelatedRayleighGenerator, GeneratorBuilder};
-use corrfade_bench::{report, reported_spectral_covariance};
 use corrfade_bench::scenarios::indefinite_correlation;
+use corrfade_bench::{report, reported_spectral_covariance};
 use corrfade_models::paper_spatial_scenario;
 use corrfade_stats::{relative_frobenius_error, sample_covariance};
 
@@ -23,7 +23,10 @@ fn main() {
     let snaps = gen.generate_snapshots(SNAPSHOTS);
     let khat = sample_covariance(&snaps);
     report::compare_matrices("E[Z Z^H] vs Eq. (22) target", &k, &khat);
-    report::measured_scalar("relative Frobenius error", relative_frobenius_error(&khat, &k));
+    report::measured_scalar(
+        "relative Frobenius error",
+        relative_frobenius_error(&khat, &k),
+    );
 
     // Envelope moments, per envelope (sigma_g^2 = 1).
     let mut gen = CorrelatedRayleighGenerator::new(k.clone(), 0xE51).unwrap();
@@ -47,7 +50,11 @@ fn main() {
             j + 1,
             ks.statistic,
             ks.p_value,
-            if ks.passes(0.01) { "accepted" } else { "REJECTED" }
+            if ks.passes(0.01) {
+                "accepted"
+            } else {
+                "REJECTED"
+            }
         );
     }
 

@@ -65,11 +65,13 @@ fn run_case(label: &str, k: &CMatrix) {
 }
 
 fn main() {
-    report::section("E7: PSD-forcing ablation (zero-clipping vs epsilon-replacement vs raw Cholesky)");
+    report::section(
+        "E7: PSD-forcing ablation (zero-clipping vs epsilon-replacement vs raw Cholesky)",
+    );
 
     for n in [3usize, 4, 8, 16, 32] {
         run_case(
-            &format!("indefinite correlation matrix, rho = 0.9"),
+            "indefinite correlation matrix, rho = 0.9",
             &indefinite_correlation(n, 0.9),
         );
     }

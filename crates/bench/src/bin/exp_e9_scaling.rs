@@ -49,7 +49,7 @@ fn main() {
         let chol_us = t0.elapsed().as_secs_f64() * 1e6 / reps as f64;
 
         let mut gen = CorrelatedRayleighGenerator::new(k.clone(), 0xE9).unwrap();
-        let samples = 200_000usize.max(10_000);
+        let samples = 200_000usize;
         let t0 = Instant::now();
         let mut sink = 0.0f64;
         for _ in 0..samples {
@@ -107,13 +107,21 @@ fn main() {
         println!(
             "{}",
             report::table_row(
-                &[format!("{threads}"), format!("{ms:.1}"), format!("{speedup:.2}x")],
+                &[
+                    format!("{threads}"),
+                    format!("{ms:.1}"),
+                    format!("{speedup:.2}x")
+                ],
                 &[8, 16, 10]
             )
         );
         rows.push(vec![threads as f64, ms, speedup]);
     }
-    report::write_csv("e9_parallel_speedup.csv", &["threads", "ms", "speedup"], &rows);
+    report::write_csv(
+        "e9_parallel_speedup.csv",
+        &["threads", "ms", "speedup"],
+        &rows,
+    );
 
     println!();
     println!(

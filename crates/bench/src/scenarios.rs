@@ -8,9 +8,7 @@ use corrfade_linalg::{c64, CMatrix};
 /// benchmarks at arbitrary `N`.
 pub fn exponential_correlation(n: usize, rho: f64) -> CMatrix {
     assert!((0.0..1.0).contains(&rho), "rho must lie in [0, 1)");
-    CMatrix::from_fn(n, n, |i, j| {
-        c64(rho.powi((i as i32 - j as i32).abs()), 0.0)
-    })
+    CMatrix::from_fn(n, n, |i, j| c64(rho.powi((i as i32 - j as i32).abs()), 0.0))
 }
 
 /// A complex-valued Hermitian positive-definite covariance with phase ramp
@@ -30,7 +28,10 @@ pub fn complex_exponential_correlation(n: usize, rho: f64, theta: f64) -> CMatri
 /// the PSD-forcing path. The returned matrix is Hermitian but has at least
 /// one negative eigenvalue for `n ≥ 3` and `rho ≥ 0.6`.
 pub fn indefinite_correlation(n: usize, rho: f64) -> CMatrix {
-    assert!(n >= 3, "need at least 3 envelopes to build an indefinite example");
+    assert!(
+        n >= 3,
+        "need at least 3 envelopes to build an indefinite example"
+    );
     let mut k = exponential_correlation(n, rho);
     // Make the (0, n-1) correlation strongly negative while the chain of
     // intermediate correlations stays strongly positive — jointly infeasible.
@@ -83,7 +84,10 @@ mod tests {
         let k = complex_exponential_correlation(6, 0.8, 0.9);
         assert!(k.is_hermitian(1e-12));
         assert!(is_positive_definite(&k));
-        assert!(k[(0, 1)].im.abs() > 0.1, "must have genuinely complex entries");
+        assert!(
+            k[(0, 1)].im.abs() > 0.1,
+            "must have genuinely complex entries"
+        );
     }
 
     #[test]

@@ -133,7 +133,11 @@ impl GeneratorBuilder {
     /// Resolves the configured source (and optional power override) into the
     /// final desired covariance matrix.
     pub fn resolve_covariance(&self) -> Result<CMatrix, CorrfadeError> {
-        let base = match self.source.as_ref().ok_or(CorrfadeError::MissingCovariance)? {
+        let base = match self
+            .source
+            .as_ref()
+            .ok_or(CorrfadeError::MissingCovariance)?
+        {
             CovarianceSource::Matrix(k) => k.clone(),
             CovarianceSource::Spectral {
                 model,
@@ -198,7 +202,11 @@ mod tests {
     #[test]
     fn explicit_covariance_round_trips() {
         let k = paper_covariance_matrix_22();
-        let g = GeneratorBuilder::new().covariance(k.clone()).seed(1).build().unwrap();
+        let g = GeneratorBuilder::new()
+            .covariance(k.clone())
+            .seed(1)
+            .build()
+            .unwrap();
         assert!(g.desired_covariance().approx_eq(&k, 0.0));
     }
 
@@ -210,7 +218,11 @@ mod tests {
             .seed(2)
             .build()
             .unwrap();
-        assert!(g.desired_covariance().max_abs_diff(&paper_covariance_matrix_22()) < 5e-4);
+        assert!(
+            g.desired_covariance()
+                .max_abs_diff(&paper_covariance_matrix_22())
+                < 5e-4
+        );
     }
 
     #[test]
@@ -220,7 +232,11 @@ mod tests {
             .seed(3)
             .build()
             .unwrap();
-        assert!(g.desired_covariance().max_abs_diff(&paper_covariance_matrix_23()) < 5e-4);
+        assert!(
+            g.desired_covariance()
+                .max_abs_diff(&paper_covariance_matrix_23())
+                < 5e-4
+        );
     }
 
     #[test]
@@ -265,7 +281,11 @@ mod tests {
             .build_realtime(1024, 0.05, 0.5)
             .unwrap();
         assert_eq!(g.dimension(), 3);
-        assert!(g.desired_covariance().max_abs_diff(&paper_covariance_matrix_22()) < 5e-4);
+        assert!(
+            g.desired_covariance()
+                .max_abs_diff(&paper_covariance_matrix_22())
+                < 5e-4
+        );
     }
 
     #[test]
@@ -279,7 +299,10 @@ mod tests {
                 .covariance(paper_covariance_matrix_22())
                 .gaussian_powers(&[1.0, 1.0])
                 .build(),
-            Err(CorrfadeError::PowerDimensionMismatch { expected: 3, actual: 2 })
+            Err(CorrfadeError::PowerDimensionMismatch {
+                expected: 3,
+                actual: 2
+            })
         ));
         assert!(matches!(
             GeneratorBuilder::new()

@@ -93,7 +93,9 @@ mod tests {
         let k = paper_covariance_matrix_22();
         let eig = eigen_coloring(&k).unwrap();
         let chol = cholesky_coloring(&k).unwrap();
-        assert!(chol.aat_adjoint().approx_eq(&eig.realized_covariance(), 1e-10));
+        assert!(chol
+            .aat_adjoint()
+            .approx_eq(&eig.realized_covariance(), 1e-10));
         // The factors themselves differ (eigen coloring is not triangular).
         assert!(chol.max_abs_diff(&eig.matrix) > 1e-3);
     }
@@ -109,11 +111,7 @@ mod tests {
 
     #[test]
     fn eigen_coloring_handles_indefinite_covariance() {
-        let k = CMatrix::from_real_slice(
-            3,
-            3,
-            &[1.0, 0.9, -0.9, 0.9, 1.0, 0.9, -0.9, 0.9, 1.0],
-        );
+        let k = CMatrix::from_real_slice(3, 3, &[1.0, 0.9, -0.9, 0.9, 1.0, 0.9, -0.9, 0.9, 1.0]);
         assert!(cholesky_coloring(&k).is_err());
         let c = eigen_coloring(&k).unwrap();
         // Realizes the forced (closest PSD) covariance, not K itself.

@@ -125,11 +125,17 @@ mod tests {
         let cases: Vec<CorrfadeError> = vec![
             CorrfadeError::NotSquare { rows: 2, cols: 3 },
             CorrfadeError::NotHermitian { deviation: 0.1 },
-            CorrfadeError::NegativePower { index: 0, value: -1.0 },
+            CorrfadeError::NegativePower {
+                index: 0,
+                value: -1.0,
+            },
             CorrfadeError::EmptyCovariance,
             CorrfadeError::InvalidDrivingVariance { value: 0.0 },
             CorrfadeError::MissingCovariance,
-            CorrfadeError::PowerDimensionMismatch { expected: 3, actual: 2 },
+            CorrfadeError::PowerDimensionMismatch {
+                expected: 3,
+                actual: 2,
+            },
             CorrfadeError::Linalg(LinalgError::NotSquare { rows: 1, cols: 2 }),
             CorrfadeError::Dsp(DspError::InvalidVariance { value: -1.0 }),
         ];
@@ -143,7 +149,11 @@ mod tests {
         use std::error::Error;
         let e: CorrfadeError = LinalgError::NotSquare { rows: 1, cols: 2 }.into();
         assert!(e.source().is_some());
-        let e: CorrfadeError = DspError::InvalidLength { length: 1, minimum: 8 }.into();
+        let e: CorrfadeError = DspError::InvalidLength {
+            length: 1,
+            minimum: 8,
+        }
+        .into();
         assert!(e.source().is_some());
         let e = CorrfadeError::EmptyCovariance;
         assert!(e.source().is_none());

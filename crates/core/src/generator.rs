@@ -82,7 +82,7 @@ impl CorrelatedRayleighGenerator {
         driving_variance: f64,
         seed: u64,
     ) -> Result<Self, CorrfadeError> {
-        if !(driving_variance > 0.0) {
+        if driving_variance <= 0.0 || driving_variance.is_nan() {
             return Err(CorrfadeError::InvalidDrivingVariance {
                 value: driving_variance,
             });
@@ -139,7 +139,10 @@ impl CorrelatedRayleighGenerator {
             self.dimension(),
             w.len()
         );
-        assert!(w_variance > 0.0, "color: variance must be strictly positive");
+        assert!(
+            w_variance > 0.0,
+            "color: variance must be strictly positive"
+        );
         let scale = 1.0 / w_variance.sqrt();
         self.coloring
             .matrix
@@ -163,7 +166,10 @@ impl CorrelatedRayleighGenerator {
     pub fn sample(&mut self) -> Sample {
         let gaussian = self.sample_gaussian();
         let envelopes = gaussian.iter().map(|z| z.abs()).collect();
-        Sample { gaussian, envelopes }
+        Sample {
+            gaussian,
+            envelopes,
+        }
     }
 
     /// Draws `count` independent snapshots (each a length-`N` vector `Z`).
@@ -294,17 +300,16 @@ mod tests {
         for path in &paths {
             let sigma = corrfade_stats::rayleigh_scale(1.0);
             let t = corrfade_stats::ks_test(path, |r| corrfade_specfun::rayleigh_cdf(r, sigma));
-            assert!(t.passes(0.001), "KS test rejected a generated envelope: {t:?}");
+            assert!(
+                t.passes(0.001),
+                "KS test rejected a generated envelope: {t:?}"
+            );
         }
     }
 
     #[test]
     fn indefinite_covariance_realizes_its_psd_projection() {
-        let k = CMatrix::from_real_slice(
-            3,
-            3,
-            &[1.0, 0.9, -0.9, 0.9, 1.0, 0.9, -0.9, 0.9, 1.0],
-        );
+        let k = CMatrix::from_real_slice(3, 3, &[1.0, 0.9, -0.9, 0.9, 1.0, 0.9, -0.9, 0.9, 1.0]);
         let mut g = CorrelatedRayleighGenerator::new(k.clone(), 21).unwrap();
         assert!(g.coloring().psd.clipped_count > 0);
         let forced = g.realized_covariance();

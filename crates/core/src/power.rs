@@ -63,7 +63,7 @@ impl PowerSpec {
             return Err(CorrfadeError::EmptyCovariance);
         }
         for (i, &p) in raw.iter().enumerate() {
-            if !(p >= 0.0) {
+            if p < 0.0 || p.is_nan() {
                 return Err(CorrfadeError::NegativePower { index: i, value: p });
             }
         }
@@ -98,7 +98,10 @@ mod tests {
 
     #[test]
     fn equal_constructors() {
-        assert_eq!(PowerSpec::equal_gaussian(3, 2.0).gaussian_powers().unwrap(), vec![2.0; 3]);
+        assert_eq!(
+            PowerSpec::equal_gaussian(3, 2.0).gaussian_powers().unwrap(),
+            vec![2.0; 3]
+        );
         let e = PowerSpec::equal_envelope(2, 0.2146);
         let g = e.gaussian_powers().unwrap();
         // σr² = 0.2146 corresponds (to 4 digits) to σg² = 1 (Eq. 15 inverted).

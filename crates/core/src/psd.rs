@@ -70,7 +70,7 @@ pub fn validate_covariance(k: &CMatrix) -> Result<(), CorrfadeError> {
     }
     for i in 0..k.rows() {
         let d = k[(i, i)].re;
-        if !(d >= 0.0) {
+        if d < 0.0 || d.is_nan() {
             return Err(CorrfadeError::NegativePower { index: i, value: d });
         }
     }
@@ -131,11 +131,7 @@ mod tests {
     fn indefinite_matrix() -> CMatrix {
         // Correlation pattern (+,+,−) across three envelopes that no joint
         // Gaussian can realize — the smallest eigenvalue is negative.
-        CMatrix::from_real_slice(
-            3,
-            3,
-            &[1.0, 0.9, -0.9, 0.9, 1.0, 0.9, -0.9, 0.9, 1.0],
-        )
+        CMatrix::from_real_slice(3, 3, &[1.0, 0.9, -0.9, 0.9, 1.0, 0.9, -0.9, 0.9, 1.0])
     }
 
     #[test]

@@ -168,8 +168,8 @@ impl RealtimeGenerator {
         let mut gaussian_paths = vec![Vec::with_capacity(m); n];
         let mut w = vec![Complex64::ZERO; n];
         for l in 0..m {
-            for j in 0..n {
-                w[j] = raw[j][l];
+            for (wj, raw_j) in w.iter_mut().zip(&raw) {
+                *wj = raw_j[l];
             }
             let z = self.coloring.matrix.matvec(&w);
             for j in 0..n {
@@ -195,8 +195,8 @@ impl RealtimeGenerator {
         let mut gaussian_paths: Vec<Vec<Complex64>> = vec![Vec::new(); n];
         for _ in 0..blocks {
             let b = self.generate_block();
-            for j in 0..n {
-                gaussian_paths[j].extend_from_slice(&b.gaussian_paths[j]);
+            for (path, block_path) in gaussian_paths.iter_mut().zip(&b.gaussian_paths) {
+                path.extend_from_slice(block_path);
             }
         }
         let envelope_paths = gaussian_paths

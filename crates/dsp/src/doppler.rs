@@ -47,7 +47,10 @@ impl DopplerFilter {
     ///   bins).
     pub fn new(m: usize, fm: f64) -> Result<Self, DspError> {
         if m < 8 {
-            return Err(DspError::InvalidLength { length: m, minimum: 8 });
+            return Err(DspError::InvalidLength {
+                length: m,
+                minimum: 8,
+            });
         }
         if !(fm > 0.0 && fm < 0.5) {
             return Err(DspError::InvalidDopplerFrequency { fm });
@@ -144,7 +147,9 @@ impl DopplerFilter {
     pub fn normalized_autocorrelation(&self, max_lag: usize) -> Vec<f64> {
         let g = self.autocorrelation_kernel();
         let g0 = g[0].re;
-        (0..=max_lag.min(self.m - 1)).map(|d| g[d].re / g0).collect()
+        (0..=max_lag.min(self.m - 1))
+            .map(|d| g[d].re / g0)
+            .collect()
     }
 
     /// The ideal target autocorrelation `J₀(2π·f_m·d)` for lags
@@ -169,8 +174,10 @@ impl IdftRayleighGenerator {
     /// Creates a generator from a designed filter and the per-dimension input
     /// variance `σ²_orig` of the Gaussian sequences `{A[k]}`, `{B[k]}`.
     pub fn new(filter: DopplerFilter, sigma_orig_sq: f64) -> Result<Self, DspError> {
-        if !(sigma_orig_sq > 0.0) {
-            return Err(DspError::InvalidVariance { value: sigma_orig_sq });
+        if sigma_orig_sq <= 0.0 || sigma_orig_sq.is_nan() {
+            return Err(DspError::InvalidVariance {
+                value: sigma_orig_sq,
+            });
         }
         Ok(Self {
             filter,
@@ -228,7 +235,11 @@ mod tests {
     #[test]
     fn paper_km_value() {
         let f = paper_filter();
-        assert_eq!(f.km(), 204, "paper reports km = 204 for fm = 0.05, M = 4096");
+        assert_eq!(
+            f.km(),
+            204,
+            "paper reports km = 204 for fm = 0.05, M = 4096"
+        );
         assert_eq!(f.len(), 4096);
         assert!((f.fm() - 0.05).abs() < 1e-15);
         assert!(!f.is_empty());
@@ -242,8 +253,8 @@ mod tests {
         let km = f.km();
         // k = 0 and the stop band are zero.
         assert_eq!(c[0], 0.0);
-        for k in (km + 1)..(m - km) {
-            assert_eq!(c[k], 0.0, "stop band must be zero at k = {k}");
+        for (k, &ck) in c.iter().enumerate().take(m - km).skip(km + 1) {
+            assert_eq!(ck, 0.0, "stop band must be zero at k = {k}");
         }
         // Symmetry F[k] = F[M-k] for k in the pass band.
         for k in 1..=km {
@@ -254,9 +265,9 @@ mod tests {
         }
         // Pass-band values follow the closed form.
         let mfm = m as f64 * f.fm();
-        for k in 1..km {
+        for (k, &ck) in c.iter().enumerate().take(km).skip(1) {
             let expected = (1.0 / (2.0 * (1.0 - (k as f64 / mfm).powi(2)).sqrt())).sqrt();
-            assert!((c[k] - expected).abs() < 1e-12);
+            assert!((ck - expected).abs() < 1e-12);
         }
         // Band-edge value is finite and positive (the raw Jakes PSD diverges
         // there; Young's correction keeps it bounded).
@@ -271,9 +282,7 @@ mod tests {
         let expected = 2.0 * sigma_orig_sq / (4096.0 * 4096.0) * sum_sq;
         assert!((f.output_variance(sigma_orig_sq) - expected).abs() < 1e-15);
         // Doubling the input variance doubles the output variance.
-        assert!(
-            (f.output_variance(1.0) - 2.0 * f.output_variance(0.5)).abs() < 1e-15
-        );
+        assert!((f.output_variance(1.0) - 2.0 * f.output_variance(0.5)).abs() < 1e-15);
     }
 
     #[test]
@@ -338,7 +347,10 @@ mod tests {
         let cross = cross / count as f64;
         let sigma = gen.output_variance().sqrt();
         assert!(mean.abs() < 0.05 * sigma, "mean {mean}");
-        assert!(cross.abs() < 0.05 * sigma * sigma, "re/im correlation {cross}");
+        assert!(
+            cross.abs() < 0.05 * sigma * sigma,
+            "re/im correlation {cross}"
+        );
     }
 
     #[test]

@@ -50,9 +50,12 @@ mod tests {
 
     #[test]
     fn display_contains_key_information() {
-        assert!(DspError::InvalidLength { length: 2, minimum: 8 }
-            .to_string()
-            .contains("2"));
+        assert!(DspError::InvalidLength {
+            length: 2,
+            minimum: 8
+        }
+        .to_string()
+        .contains("2"));
         assert!(DspError::InvalidDopplerFrequency { fm: 0.7 }
             .to_string()
             .contains("0.7"));

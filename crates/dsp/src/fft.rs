@@ -30,7 +30,10 @@ pub fn is_power_of_two(n: usize) -> bool {
 /// Panics if `data.len()` is not a power of two.
 fn fft_radix2_in_place(data: &mut [Complex64], invert: bool) {
     let n = data.len();
-    assert!(is_power_of_two(n), "radix-2 FFT requires a power-of-two length, got {n}");
+    assert!(
+        is_power_of_two(n),
+        "radix-2 FFT requires a power-of-two length, got {n}"
+    );
     if n <= 1 {
         return;
     }
@@ -98,7 +101,7 @@ fn fft_bluestein(input: &[Complex64], invert: bool) -> Vec<Complex64> {
     fft_radix2_in_place(&mut a, false);
     fft_radix2_in_place(&mut b, false);
     for k in 0..m {
-        a[k] = a[k] * b[k];
+        a[k] *= b[k];
     }
     fft_radix2_in_place(&mut a, true);
     let scale = 1.0 / m as f64;
@@ -281,7 +284,11 @@ mod tests {
         let lhs = fft(&combined);
         let fx = fft(&x);
         let fy = fft(&y);
-        let rhs: Vec<Complex64> = fx.iter().zip(fy.iter()).map(|(&a, &b)| a * alpha + b).collect();
+        let rhs: Vec<Complex64> = fx
+            .iter()
+            .zip(fy.iter())
+            .map(|(&a, &b)| a * alpha + b)
+            .collect();
         assert_close(&lhs, &rhs, 1e-9);
     }
 

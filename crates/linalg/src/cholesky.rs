@@ -37,7 +37,9 @@ pub fn cholesky_with_tol(a: &CMatrix, pivot_tol: f64) -> Result<CMatrix, LinalgE
     let scale = a.max_abs().max(1.0);
     let herm_dev = a.max_abs_diff(&a.adjoint());
     if herm_dev > 1e-9 * scale {
-        return Err(LinalgError::NotHermitian { deviation: herm_dev });
+        return Err(LinalgError::NotHermitian {
+            deviation: herm_dev,
+        });
     }
 
     let max_diag = (0..n).map(|i| a[(i, i)].re).fold(0.0f64, f64::max).max(1.0);
@@ -50,8 +52,11 @@ pub fn cholesky_with_tol(a: &CMatrix, pivot_tol: f64) -> Result<CMatrix, LinalgE
         for k in 0..j {
             sum -= l[(j, k)].norm_sqr();
         }
-        if !(sum > threshold) || sum.is_nan() {
-            return Err(LinalgError::NotPositiveDefinite { pivot: j, value: sum });
+        if sum <= threshold || sum.is_nan() {
+            return Err(LinalgError::NotPositiveDefinite {
+                pivot: j,
+                value: sum,
+            });
         }
         let ljj = sum.sqrt();
         l[(j, j)] = Complex64::from_real(ljj);
@@ -104,8 +109,11 @@ pub fn cholesky_real(a: &RMatrix) -> Result<RMatrix, LinalgError> {
         for k in 0..j {
             sum -= l[(j, k)] * l[(j, k)];
         }
-        if !(sum > 0.0) || sum.is_nan() {
-            return Err(LinalgError::NotPositiveDefinite { pivot: j, value: sum });
+        if sum <= 0.0 || sum.is_nan() {
+            return Err(LinalgError::NotPositiveDefinite {
+                pivot: j,
+                value: sum,
+            });
         }
         let ljj = sum.sqrt();
         l[(j, j)] = ljj;
@@ -143,7 +151,9 @@ mod tests {
         CMatrix::from_real_slice(
             3,
             3,
-            &[1.0, 0.8123, 0.3730, 0.8123, 1.0, 0.8123, 0.3730, 0.8123, 1.0],
+            &[
+                1.0, 0.8123, 0.3730, 0.8123, 1.0, 0.8123, 0.3730, 0.8123, 1.0,
+            ],
         )
     }
 
@@ -214,7 +224,10 @@ mod tests {
             vec![c64(1.0, 0.0), c64(1.0, 0.0)],
             vec![c64(0.0, 0.0), c64(1.0, 0.0)],
         ]);
-        assert!(matches!(cholesky(&a), Err(LinalgError::NotHermitian { .. })));
+        assert!(matches!(
+            cholesky(&a),
+            Err(LinalgError::NotHermitian { .. })
+        ));
     }
 
     #[test]
@@ -243,7 +256,10 @@ mod tests {
             Err(LinalgError::NotPositiveDefinite { .. })
         ));
         let b = RMatrix::from_vec(2, 2, vec![1.0, 0.5, 0.4, 1.0]);
-        assert!(matches!(cholesky_real(&b), Err(LinalgError::NotHermitian { .. })));
+        assert!(matches!(
+            cholesky_real(&b),
+            Err(LinalgError::NotHermitian { .. })
+        ));
         assert!(matches!(
             cholesky_real(&RMatrix::zeros(1, 2)),
             Err(LinalgError::NotSquare { .. })

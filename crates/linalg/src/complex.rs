@@ -611,10 +611,18 @@ mod tests {
 
     #[test]
     fn sqrt_squares_back() {
-        for &z in &[c64(1.0, 2.0), c64(-3.0, 4.0), c64(0.5, -0.25), c64(-1.0, -1.0)] {
+        for &z in &[
+            c64(1.0, 2.0),
+            c64(-3.0, 4.0),
+            c64(0.5, -0.25),
+            c64(-1.0, -1.0),
+        ] {
             let s = z.sqrt();
             assert!((s * s).approx_eq(z, 1e-12), "sqrt({z}) = {s}");
-            assert!(s.re >= 0.0, "principal branch must have non-negative real part");
+            assert!(
+                s.re >= 0.0,
+                "principal branch must have non-negative real part"
+            );
         }
     }
 

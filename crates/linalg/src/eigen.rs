@@ -161,7 +161,9 @@ pub fn hermitian_eigen(a: &CMatrix) -> Result<HermitianEigen, LinalgError> {
     let scale = a.max_abs().max(1.0);
     let herm_dev = a.max_abs_diff(&a.adjoint());
     if herm_dev > DEFAULT_HERMITIAN_TOL * scale {
-        return Err(LinalgError::NotHermitian { deviation: herm_dev });
+        return Err(LinalgError::NotHermitian {
+            deviation: herm_dev,
+        });
     }
 
     if n == 0 {
@@ -249,7 +251,11 @@ pub fn hermitian_eigen(a: &CMatrix) -> Result<HermitianEigen, LinalgError> {
 
     let mut order: Vec<usize> = (0..n).collect();
     let raw: Vec<f64> = (0..n).map(|i| m[(i, i)].re).collect();
-    order.sort_by(|&i, &j| raw[j].partial_cmp(&raw[i]).unwrap_or(core::cmp::Ordering::Equal));
+    order.sort_by(|&i, &j| {
+        raw[j]
+            .partial_cmp(&raw[i])
+            .unwrap_or(core::cmp::Ordering::Equal)
+    });
 
     let eigenvalues: Vec<f64> = order.iter().map(|&i| raw[i]).collect();
     let eigenvectors = CMatrix::from_fn(n, n, |i, j| v[(i, order[j])]);
@@ -364,7 +370,11 @@ pub fn symmetric_eigen(a: &RMatrix) -> Result<SymmetricEigen, LinalgError> {
 
     let mut order: Vec<usize> = (0..n).collect();
     let raw: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
-    order.sort_by(|&i, &j| raw[j].partial_cmp(&raw[i]).unwrap_or(core::cmp::Ordering::Equal));
+    order.sort_by(|&i, &j| {
+        raw[j]
+            .partial_cmp(&raw[i])
+            .unwrap_or(core::cmp::Ordering::Equal)
+    });
 
     let eigenvalues: Vec<f64> = order.iter().map(|&i| raw[i]).collect();
     let eigenvectors = RMatrix::from_fn(n, n, |i, j| v[(i, order[j])]);
@@ -457,7 +467,11 @@ mod tests {
         // The paper states Eq. (22) is positive definite; our decomposition
         // must agree.
         let e = hermitian_eigen(&paper_matrix_22()).unwrap();
-        assert!(e.is_positive_definite(0.0), "eigenvalues: {:?}", e.eigenvalues);
+        assert!(
+            e.is_positive_definite(0.0),
+            "eigenvalues: {:?}",
+            e.eigenvalues
+        );
         // Trace is preserved: sum of eigenvalues = 3.
         let sum: f64 = e.eigenvalues.iter().sum();
         assert!((sum - 3.0).abs() < 1e-9);
@@ -467,11 +481,7 @@ mod tests {
     fn indefinite_matrix_detected() {
         // A correlation-like matrix that is NOT positive semi-definite:
         // pairwise correlations of 1, 1 and -1 are mutually inconsistent.
-        let a = CMatrix::from_real_slice(
-            3,
-            3,
-            &[1.0, 0.9, -0.9, 0.9, 1.0, 0.9, -0.9, 0.9, 1.0],
-        );
+        let a = CMatrix::from_real_slice(3, 3, &[1.0, 0.9, -0.9, 0.9, 1.0, 0.9, -0.9, 0.9, 1.0]);
         let e = hermitian_eigen(&a).unwrap();
         assert!(!e.is_positive_semidefinite(1e-12));
         assert!(e.eigenvalues[2] < 0.0);
@@ -480,7 +490,10 @@ mod tests {
     #[test]
     fn non_square_rejected() {
         let a = CMatrix::zeros(2, 3);
-        assert!(matches!(hermitian_eigen(&a), Err(LinalgError::NotSquare { .. })));
+        assert!(matches!(
+            hermitian_eigen(&a),
+            Err(LinalgError::NotSquare { .. })
+        ));
     }
 
     #[test]
@@ -523,11 +536,7 @@ mod tests {
 
     #[test]
     fn reconstruct_with_clipped_eigenvalues_is_psd() {
-        let a = CMatrix::from_real_slice(
-            3,
-            3,
-            &[1.0, 0.9, -0.9, 0.9, 1.0, 0.9, -0.9, 0.9, 1.0],
-        );
+        let a = CMatrix::from_real_slice(3, 3, &[1.0, 0.9, -0.9, 0.9, 1.0, 0.9, -0.9, 0.9, 1.0]);
         let e = hermitian_eigen(&a).unwrap();
         let clipped: Vec<f64> = e.eigenvalues.iter().map(|&l| l.max(0.0)).collect();
         let forced = e.reconstruct_with(&clipped);

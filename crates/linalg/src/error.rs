@@ -82,7 +82,10 @@ mod tests {
         assert!(e.to_string().contains("2×3"));
         let e = LinalgError::NotHermitian { deviation: 0.5 };
         assert!(e.to_string().contains("Hermitian"));
-        let e = LinalgError::NotPositiveDefinite { pivot: 1, value: -0.25 };
+        let e = LinalgError::NotPositiveDefinite {
+            pivot: 1,
+            value: -0.25,
+        };
         assert!(e.to_string().contains("positive definite"));
         let e = LinalgError::ConvergenceFailure {
             iterations: 30,

@@ -67,11 +67,8 @@ mod integration_tests {
     #[test]
     fn eigen_coloring_survives_indefinite_covariance() {
         // Cholesky must fail, eigen-based coloring (after clipping) must not.
-        let k = CMatrix::from_real_slice(
-            3,
-            3,
-            &[1.0, 0.95, -0.95, 0.95, 1.0, 0.95, -0.95, 0.95, 1.0],
-        );
+        let k =
+            CMatrix::from_real_slice(3, 3, &[1.0, 0.95, -0.95, 0.95, 1.0, 0.95, -0.95, 0.95, 1.0]);
         assert!(cholesky(&k).is_err());
         let e = hermitian_eigen(&k).unwrap();
         let clipped: Vec<f64> = e.eigenvalues.iter().map(|&l| l.max(0.0)).collect();

@@ -77,7 +77,11 @@ impl CMatrix {
         assert!(cols > 0, "CMatrix::from_rows: empty rows");
         let mut data = Vec::with_capacity(rows.len() * cols);
         for (i, r) in rows.iter().enumerate() {
-            assert_eq!(r.len(), cols, "CMatrix::from_rows: row {i} has ragged length");
+            assert_eq!(
+                r.len(),
+                cols,
+                "CMatrix::from_rows: row {i} has ragged length"
+            );
             data.extend_from_slice(r);
         }
         Self {
@@ -181,19 +185,31 @@ impl CMatrix {
 
     /// A copy of row `i`.
     pub fn row(&self, i: usize) -> Vec<Complex64> {
-        assert!(i < self.rows, "row index {i} out of range (rows = {})", self.rows);
+        assert!(
+            i < self.rows,
+            "row index {i} out of range (rows = {})",
+            self.rows
+        );
         self.data[i * self.cols..(i + 1) * self.cols].to_vec()
     }
 
     /// A borrowed view of row `i`.
     pub fn row_slice(&self, i: usize) -> &[Complex64] {
-        assert!(i < self.rows, "row index {i} out of range (rows = {})", self.rows);
+        assert!(
+            i < self.rows,
+            "row index {i} out of range (rows = {})",
+            self.rows
+        );
         &self.data[i * self.cols..(i + 1) * self.cols]
     }
 
     /// A copy of column `j`.
     pub fn col(&self, j: usize) -> Vec<Complex64> {
-        assert!(j < self.cols, "col index {j} out of range (cols = {})", self.cols);
+        assert!(
+            j < self.cols,
+            "col index {j} out of range (cols = {})",
+            self.cols
+        );
         (0..self.rows).map(|i| self[(i, j)]).collect()
     }
 
@@ -325,7 +341,11 @@ impl CMatrix {
     /// # Panics
     /// Panics if the shapes differ.
     pub fn frobenius_distance(&self, other: &Self) -> f64 {
-        assert_eq!(self.shape(), other.shape(), "frobenius_distance: shape mismatch");
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "frobenius_distance: shape mismatch"
+        );
         self.data
             .iter()
             .zip(other.data.iter())
@@ -603,7 +623,11 @@ impl RMatrix {
 
     /// A borrowed view of row `i`.
     pub fn row_slice(&self, i: usize) -> &[f64] {
-        assert!(i < self.rows, "row index {i} out of range (rows = {})", self.rows);
+        assert!(
+            i < self.rows,
+            "row index {i} out of range (rows = {})",
+            self.rows
+        );
         &self.data[i * self.cols..(i + 1) * self.cols]
     }
 
@@ -706,7 +730,9 @@ impl RMatrix {
 
     /// Lifts to a complex matrix with zero imaginary parts.
     pub fn complexify(&self) -> CMatrix {
-        CMatrix::from_fn(self.rows, self.cols, |i, j| Complex64::from_real(self[(i, j)]))
+        CMatrix::from_fn(self.rows, self.cols, |i, j| {
+            Complex64::from_real(self[(i, j)])
+        })
     }
 
     /// Entry-wise approximate equality with an absolute tolerance.

@@ -13,7 +13,13 @@ use crate::complex::Complex64;
 /// # Panics
 /// Panics if the slices have different lengths.
 pub fn dot(a: &[Complex64], b: &[Complex64]) -> Complex64 {
-    assert_eq!(a.len(), b.len(), "dot: length mismatch {} vs {}", a.len(), b.len());
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "dot: length mismatch {} vs {}",
+        a.len(),
+        b.len()
+    );
     a.iter()
         .zip(b.iter())
         .fold(Complex64::ZERO, |acc, (&x, &y)| x.mul_add(y, acc))
@@ -25,7 +31,13 @@ pub fn dot(a: &[Complex64], b: &[Complex64]) -> Complex64 {
 /// # Panics
 /// Panics if the slices have different lengths.
 pub fn hdot(a: &[Complex64], b: &[Complex64]) -> Complex64 {
-    assert_eq!(a.len(), b.len(), "hdot: length mismatch {} vs {}", a.len(), b.len());
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "hdot: length mismatch {} vs {}",
+        a.len(),
+        b.len()
+    );
     a.iter()
         .zip(b.iter())
         .fold(Complex64::ZERO, |acc, (&x, &y)| x.conj().mul_add(y, acc))
@@ -51,7 +63,13 @@ pub fn norm_inf(a: &[Complex64]) -> f64 {
 /// # Panics
 /// Panics if the slices have different lengths.
 pub fn axpy(alpha: Complex64, x: &[Complex64], y: &mut [Complex64]) {
-    assert_eq!(x.len(), y.len(), "axpy: length mismatch {} vs {}", x.len(), y.len());
+    assert_eq!(
+        x.len(),
+        y.len(),
+        "axpy: length mismatch {} vs {}",
+        x.len(),
+        y.len()
+    );
     for (yi, &xi) in y.iter_mut().zip(x.iter()) {
         *yi = alpha.mul_add(xi, *yi);
     }
@@ -60,7 +78,7 @@ pub fn axpy(alpha: Complex64, x: &[Complex64], y: &mut [Complex64]) {
 /// Scales a vector in place: `x ← α·x`.
 pub fn scale_in_place(alpha: Complex64, x: &mut [Complex64]) {
     for xi in x.iter_mut() {
-        *xi = *xi * alpha;
+        *xi *= alpha;
     }
 }
 

@@ -1,0 +1,108 @@
+//! Property-based coverage of the Cholesky factorization:
+//!
+//! * round-trip `L·Lᴴ ≈ K` on random Hermitian positive-definite matrices
+//!   of sizes 1..=8 (built as `G·Gᴴ + δ·I`, which is PD by construction),
+//! * the factor is lower-triangular with positive real diagonal,
+//! * non-PSD inputs (indefinite Hermitian matrices with a certified
+//!   negative eigenvalue direction) are rejected with
+//!   [`LinalgError::NotPositiveDefinite`].
+
+use corrfade_linalg::{c64, cholesky, is_positive_definite, CMatrix, LinalgError};
+use proptest::prelude::*;
+
+/// Random Hermitian positive-definite matrix `G·Gᴴ + δ·I`.
+fn hermitian_pd_matrix(max_n: usize) -> impl Strategy<Value = CMatrix> {
+    (1..=max_n)
+        .prop_flat_map(|n| {
+            (
+                Just(n),
+                proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), n * n),
+                0.01f64..1.0,
+            )
+        })
+        .prop_map(|(n, entries, delta)| {
+            let g = CMatrix::from_vec(
+                n,
+                n,
+                entries.into_iter().map(|(re, im)| c64(re, im)).collect(),
+            );
+            let mut k = g.aat_adjoint();
+            for i in 0..n {
+                k[(i, i)] = k[(i, i)] + delta;
+            }
+            k
+        })
+}
+
+/// Random Hermitian matrix that provably has a negative eigenvalue: start
+/// from a PD matrix and subtract `(λmax-trace-bound + margin)·u·uᴴ` along a
+/// unit direction — cheaper and more robust than rejection sampling.
+fn hermitian_indefinite_matrix(max_n: usize) -> impl Strategy<Value = CMatrix> {
+    hermitian_pd_matrix(max_n).prop_map(|k| {
+        let n = k.rows();
+        // trace(K) ≥ λmax for PD K, so shifting the first diagonal entry by
+        // −(trace + 1) forces xᴴKx < 0 for x = e₀.
+        let trace: f64 = (0..n).map(|i| k[(i, i)].re).sum();
+        let mut bad = k;
+        bad[(0, 0)] = bad[(0, 0)] - (trace + 1.0);
+        bad
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `L·Lᴴ` reconstructs the input within a scale-relative tolerance.
+    #[test]
+    fn round_trip_on_psd_matrices(k in hermitian_pd_matrix(8)) {
+        let l = cholesky(&k).expect("PD matrix must factor");
+        let rec = l.aat_adjoint();
+        let tol = 1e-11 * k.frobenius_norm().max(1.0);
+        prop_assert!(
+            rec.approx_eq(&k, tol),
+            "‖L·Lᴴ − K‖∞ = {} for n = {}",
+            rec.max_abs_diff(&k),
+            k.rows()
+        );
+    }
+
+    /// The factor is lower-triangular with strictly positive real diagonal.
+    #[test]
+    fn factor_is_lower_triangular(k in hermitian_pd_matrix(6)) {
+        let l = cholesky(&k).unwrap();
+        let n = l.rows();
+        for i in 0..n {
+            prop_assert!(l[(i, i)].re > 0.0, "diagonal pivot {i} not positive");
+            prop_assert!(l[(i, i)].im.abs() < 1e-14, "diagonal pivot {i} not real");
+            for j in (i + 1)..n {
+                prop_assert!(l[(i, j)].abs() == 0.0, "upper triangle not zero at ({i},{j})");
+            }
+        }
+    }
+
+    /// Indefinite Hermitian matrices are rejected, never silently factored.
+    #[test]
+    fn non_psd_matrices_are_rejected(k in hermitian_indefinite_matrix(6)) {
+        prop_assert!(!is_positive_definite(&k));
+        match cholesky(&k) {
+            Err(LinalgError::NotPositiveDefinite { .. }) => {}
+            Err(other) => prop_assert!(false, "wrong error kind: {other:?}"),
+            Ok(_) => prop_assert!(false, "indefinite matrix must not factor"),
+        }
+    }
+}
+
+/// A deterministic non-PSD rejection case on top of the random ones: the
+/// classic indefinite matrix [[1, 2], [2, 1]] with eigenvalues {3, −1}.
+#[test]
+fn known_indefinite_matrix_is_rejected() {
+    let k = CMatrix::from_rows(&[
+        vec![c64(1.0, 0.0), c64(2.0, 0.0)],
+        vec![c64(2.0, 0.0), c64(1.0, 0.0)],
+    ]);
+    assert!(!is_positive_definite(&k));
+    assert!(matches!(
+        cholesky(&k),
+        Err(LinalgError::NotPositiveDefinite { pivot: 1, .. })
+    ));
+}

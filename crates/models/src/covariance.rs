@@ -89,7 +89,10 @@ impl core::fmt::Display for CovarianceBuildError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             CovarianceBuildError::NegativePower { index, value } => {
-                write!(f, "power of envelope {index} must be non-negative, got {value}")
+                write!(
+                    f,
+                    "power of envelope {index} must be non-negative, got {value}"
+                )
             }
             CovarianceBuildError::DimensionMismatch { expected, actual } => {
                 write!(f, "expected {expected} powers, got {actual}")
@@ -138,7 +141,10 @@ impl CovarianceBuilder {
     /// # Panics
     /// Panics if `k == j` or either index is out of range.
     pub fn set_pair(&mut self, k: usize, j: usize, cov: QuadCovariance) -> &mut Self {
-        assert!(k != j, "set_pair: use the constructor powers for the diagonal");
+        assert!(
+            k != j,
+            "set_pair: use the constructor powers for the diagonal"
+        );
         assert!(k < self.n && j < self.n, "set_pair: index out of range");
         let mu = cov.complex_covariance();
         self.matrix[(k, j)] = mu;
@@ -152,8 +158,14 @@ impl CovarianceBuilder {
     /// # Panics
     /// Panics if `k == j` or either index is out of range.
     pub fn set_complex_pair(&mut self, k: usize, j: usize, mu: Complex64) -> &mut Self {
-        assert!(k != j, "set_complex_pair: use the constructor powers for the diagonal");
-        assert!(k < self.n && j < self.n, "set_complex_pair: index out of range");
+        assert!(
+            k != j,
+            "set_complex_pair: use the constructor powers for the diagonal"
+        );
+        assert!(
+            k < self.n && j < self.n,
+            "set_complex_pair: index out of range"
+        );
         self.matrix[(k, j)] = mu;
         self.matrix[(j, k)] = mu.conj();
         self
@@ -242,7 +254,10 @@ mod tests {
     #[test]
     fn negative_power_rejected() {
         let err = CovarianceBuilder::new(&[1.0, -0.5]).unwrap_err();
-        assert!(matches!(err, CovarianceBuildError::NegativePower { index: 1, .. }));
+        assert!(matches!(
+            err,
+            CovarianceBuildError::NegativePower { index: 1, .. }
+        ));
         assert!(err.to_string().contains("envelope 1"));
     }
 

@@ -26,7 +26,10 @@ pub const SPEED_OF_LIGHT: f64 = 299_792_458.0;
 /// Maximum Doppler frequency `F_m = v·f_c/c` for a mobile speed `v` (m/s) and
 /// carrier frequency `f_c` (Hz).
 pub fn max_doppler_frequency(mobile_speed_mps: f64, carrier_freq_hz: f64) -> f64 {
-    assert!(mobile_speed_mps >= 0.0 && carrier_freq_hz > 0.0, "invalid Doppler parameters");
+    assert!(
+        mobile_speed_mps >= 0.0 && carrier_freq_hz > 0.0,
+        "invalid Doppler parameters"
+    );
     mobile_speed_mps * carrier_freq_hz / SPEED_OF_LIGHT
 }
 
@@ -48,8 +51,14 @@ impl JakesSpectralModel {
     /// Panics if any parameter is negative or the power is non-positive.
     pub fn new(sigma_sq: f64, max_doppler_hz: f64, rms_delay_spread_s: f64) -> Self {
         assert!(sigma_sq > 0.0, "power must be positive, got {sigma_sq}");
-        assert!(max_doppler_hz >= 0.0, "Doppler frequency must be non-negative");
-        assert!(rms_delay_spread_s >= 0.0, "delay spread must be non-negative");
+        assert!(
+            max_doppler_hz >= 0.0,
+            "Doppler frequency must be non-negative"
+        );
+        assert!(
+            rms_delay_spread_s >= 0.0,
+            "delay spread must be non-negative"
+        );
         Self {
             sigma_sq,
             max_doppler_hz,
@@ -62,7 +71,8 @@ impl JakesSpectralModel {
     pub fn covariances(&self, delta_f_hz: f64, tau_s: f64) -> QuadCovariance {
         let delta_omega = 2.0 * core::f64::consts::PI * delta_f_hz;
         let dws = delta_omega * self.rms_delay_spread_s;
-        let rxx = self.sigma_sq * bessel_j0(2.0 * core::f64::consts::PI * self.max_doppler_hz * tau_s)
+        let rxx = self.sigma_sq
+            * bessel_j0(2.0 * core::f64::consts::PI * self.max_doppler_hz * tau_s)
             / (2.0 * (1.0 + dws * dws));
         let rxy = -dws * rxx;
         QuadCovariance::symmetric(rxx, rxy)
@@ -164,7 +174,9 @@ mod tests {
         // Rxx = σ²/2, Rxy = 0 → µ = σ².
         assert!((q.rxx - 1.0).abs() < 1e-12);
         assert!(q.rxy.abs() < 1e-15);
-        assert!(m.complex_covariance(0.0, 0.0).approx_eq(corrfade_linalg::c64(2.0, 0.0), 1e-12));
+        assert!(m
+            .complex_covariance(0.0, 0.0)
+            .approx_eq(corrfade_linalg::c64(2.0, 0.0), 1e-12));
     }
 
     #[test]

@@ -30,8 +30,8 @@ pub use covariance::{
     covariance_matrix_equal_power, CovarianceBuildError, CovarianceBuilder, QuadCovariance,
 };
 pub use jakes::{
-    max_doppler_frequency, paper_covariance_matrix_22, paper_spectral_scenario,
-    pairwise_delays_from_arrival_times, JakesSpectralModel, SPEED_OF_LIGHT,
+    max_doppler_frequency, pairwise_delays_from_arrival_times, paper_covariance_matrix_22,
+    paper_spectral_scenario, JakesSpectralModel, SPEED_OF_LIGHT,
 };
 pub use params::ChannelParams;
 pub use salz_winters::{

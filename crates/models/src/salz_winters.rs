@@ -56,7 +56,10 @@ impl SalzWintersSpatialModel {
         angular_spread_rad: f64,
     ) -> Self {
         assert!(sigma_sq > 0.0, "power must be positive, got {sigma_sq}");
-        assert!(spacing_wavelengths > 0.0, "antenna spacing must be positive");
+        assert!(
+            spacing_wavelengths > 0.0,
+            "antenna spacing must be positive"
+        );
         assert!(
             angle_of_arrival_rad.abs() <= core::f64::consts::PI,
             "angle of arrival must satisfy |Phi| <= pi"
@@ -90,7 +93,9 @@ impl SalzWintersSpatialModel {
         let mut rxx = bessel_j0(arg);
         for m in 1..=MAX_SERIES_TERMS {
             let order = 2 * m as u32;
-            let term = 2.0 * bessel_jn(order, arg) * (2.0 * m as f64 * phi).cos()
+            let term = 2.0
+                * bessel_jn(order, arg)
+                * (2.0 * m as f64 * phi).cos()
                 * (2.0 * m as f64 * delta).sin()
                 / (2.0 * m as f64 * delta);
             rxx += term;
@@ -104,7 +109,8 @@ impl SalzWintersSpatialModel {
         for m in 0..=MAX_SERIES_TERMS {
             let order = 2 * m as u32 + 1;
             let o = order as f64;
-            let term = 2.0 * bessel_jn(order, arg) * (o * phi).sin() * (o * delta).sin() / (o * delta);
+            let term =
+                2.0 * bessel_jn(order, arg) * (o * phi).sin() * (o * delta).sin() / (o * delta);
             rxy += term;
             if term.abs() < SERIES_TOL && o > arg.abs() {
                 break;
@@ -150,7 +156,9 @@ pub fn paper_covariance_matrix_23() -> CMatrix {
     CMatrix::from_real_slice(
         3,
         3,
-        &[1.0, 0.8123, 0.3730, 0.8123, 1.0, 0.8123, 0.3730, 0.8123, 1.0],
+        &[
+            1.0, 0.8123, 0.3730, 0.8123, 1.0, 0.8123, 0.3730, 0.8123, 1.0,
+        ],
     )
 }
 
@@ -220,7 +228,10 @@ mod tests {
         let kj = m.complex_covariance(0, 2);
         let jk = m.complex_covariance(2, 0);
         assert!(kj.approx_eq(jk.conj(), 1e-12));
-        assert!(kj.im.abs() > 1e-6, "off-broadside arrival must give complex covariances");
+        assert!(
+            kj.im.abs() > 1e-6,
+            "off-broadside arrival must give complex covariances"
+        );
     }
 
     #[test]

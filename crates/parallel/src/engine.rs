@@ -7,19 +7,19 @@
 //! 1. computes the eigen-coloring once on the calling thread,
 //! 2. splits the requested ensemble into fixed-size chunks
 //!    ([`crate::partition`]), each with its own deterministic RNG seed,
-//! 3. lets a crossbeam-scoped worker pool pull chunks from a shared atomic
-//!    counter, generate them independently, and either store the snapshots
-//!    or fold them into per-thread covariance accumulators,
+//! 3. lets a `std::thread::scope` worker pool pull chunks from a shared
+//!    atomic counter, generate them independently, and either store the
+//!    snapshots or fold them into per-thread covariance accumulators,
 //! 4. merges the per-thread results.
 //!
 //! Because chunk seeds depend only on `(master seed, chunk index)`, the
 //! produced ensemble is identical for any thread count.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use corrfade::{CorrelatedRayleighGenerator, CorrfadeError, RealtimeConfig, RealtimeGenerator};
 use corrfade_linalg::{CMatrix, Complex64};
-use parking_lot::Mutex;
 
 use crate::partition::{chunk_seed, partition, Chunk};
 
@@ -75,24 +75,23 @@ pub fn generate_snapshots(
     let next = AtomicUsize::new(0);
     let threads = config.effective_threads().min(chunks.len()).max(1);
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= chunks.len() {
                     break;
                 }
                 let chunk = chunks[i];
                 let snaps = generate_chunk(&coloring, covariance, chunk, config.seed);
-                *slots[chunk.index].lock() = snaps;
+                *slots[chunk.index].lock().unwrap() = snaps;
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 
     let mut out = Vec::with_capacity(total);
     for slot in slots {
-        out.extend(slot.into_inner());
+        out.extend(slot.into_inner().unwrap());
     }
     Ok(out)
 }
@@ -124,7 +123,10 @@ pub fn monte_carlo_covariance(
     total: usize,
     config: &ParallelConfig,
 ) -> Result<CMatrix, CorrfadeError> {
-    assert!(total > 0, "monte_carlo_covariance: need at least one snapshot");
+    assert!(
+        total > 0,
+        "monte_carlo_covariance: need at least one snapshot"
+    );
     let coloring = corrfade::eigen_coloring(covariance)?;
     let n = coloring.dimension();
     let chunks = partition(total, config.chunk_size);
@@ -132,9 +134,9 @@ pub fn monte_carlo_covariance(
     let threads = config.effective_threads().min(chunks.len()).max(1);
     let accumulator = Mutex::new(CMatrix::zeros(n, n));
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| {
+            scope.spawn(|| {
                 let mut local = CMatrix::zeros(n, n);
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
@@ -158,15 +160,17 @@ pub fn monte_carlo_covariance(
                         }
                     }
                 }
-                let mut shared = accumulator.lock();
+                let mut shared = accumulator.lock().unwrap();
                 let merged = &*shared + &local;
                 *shared = merged;
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 
-    Ok(accumulator.into_inner().scale_real(1.0 / total as f64))
+    Ok(accumulator
+        .into_inner()
+        .unwrap()
+        .scale_real(1.0 / total as f64))
 }
 
 /// Generates `blocks` real-time Doppler blocks in parallel (one block is one
@@ -189,13 +193,14 @@ pub fn generate_realtime_paths(
     let n = probe.dimension();
     drop(probe);
 
-    let slots: Vec<Mutex<Vec<Vec<Complex64>>>> = (0..blocks).map(|_| Mutex::new(Vec::new())).collect();
+    let slots: Vec<Mutex<Vec<Vec<Complex64>>>> =
+        (0..blocks).map(|_| Mutex::new(Vec::new())).collect();
     let next = AtomicUsize::new(0);
     let threads = config.effective_threads().min(blocks.max(1));
 
-    let result: Result<(), CorrfadeError> = crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= blocks {
                     break;
@@ -207,17 +212,14 @@ pub fn generate_realtime_paths(
                 };
                 let mut gen = RealtimeGenerator::new(cfg).expect("configuration validated above");
                 let block = gen.generate_block();
-                *slots[i].lock() = block.gaussian_paths;
+                *slots[i].lock().unwrap() = block.gaussian_paths;
             });
         }
-        Ok(())
-    })
-    .expect("worker thread panicked");
-    result?;
+    });
 
     let mut paths: Vec<Vec<Complex64>> = vec![Vec::new(); n];
     for slot in slots {
-        let block = slot.into_inner();
+        let block = slot.into_inner().unwrap();
         for (j, path) in block.into_iter().enumerate() {
             paths[j].extend(path);
         }

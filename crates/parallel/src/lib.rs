@@ -1,7 +1,7 @@
 //! # corrfade-parallel
 //!
 //! Multi-threaded Monte-Carlo engine for the `corrfade` generators, built on
-//! crossbeam scoped threads:
+//! `std::thread::scope` worker pools:
 //!
 //! * [`engine::generate_snapshots`] — ordered, thread-count-invariant
 //!   ensembles of independent snapshots,

@@ -37,8 +37,8 @@ pub fn partition(total: usize, chunk_size: usize) -> Vec<Chunk> {
 /// Derives a per-chunk RNG seed from the master seed and the chunk index
 /// (SplitMix64 finalizer — well-distributed and cheap).
 pub fn chunk_seed(master_seed: u64, chunk_index: usize) -> u64 {
-    let mut z = master_seed
-        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(chunk_index as u64 + 1));
+    let mut z =
+        master_seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(chunk_index as u64 + 1));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)

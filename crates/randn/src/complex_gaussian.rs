@@ -32,7 +32,10 @@ impl ComplexGaussian {
     /// Draws one circularly-symmetric sample `CN(0, variance)`: the real and
     /// imaginary parts are independent `N(0, variance/2)`.
     pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R, variance: f64) -> Complex64 {
-        assert!(variance >= 0.0, "variance must be non-negative, got {variance}");
+        assert!(
+            variance >= 0.0,
+            "variance must be non-negative, got {variance}"
+        );
         let std = (variance * 0.5).sqrt();
         c64(
             self.sampler.sample_with(rng, 0.0, std),
@@ -49,7 +52,10 @@ impl ComplexGaussian {
         var_re: f64,
         var_im: f64,
     ) -> Complex64 {
-        assert!(var_re >= 0.0 && var_im >= 0.0, "variances must be non-negative");
+        assert!(
+            var_re >= 0.0 && var_im >= 0.0,
+            "variances must be non-negative"
+        );
         c64(
             self.sampler.sample_with(rng, 0.0, var_re.sqrt()),
             self.sampler.sample_with(rng, 0.0, var_im.sqrt()),
@@ -111,7 +117,10 @@ mod tests {
         let mean: Complex64 = samples.iter().copied().sum::<Complex64>() / n as f64;
         assert!(mean.abs() < 0.02);
         let var_total: f64 = samples.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
-        assert!((var_total - variance).abs() < 0.05, "total variance {var_total}");
+        assert!(
+            (var_total - variance).abs() < 0.05,
+            "total variance {var_total}"
+        );
         let var_re: f64 = samples.iter().map(|z| z.re * z.re).sum::<f64>() / n as f64;
         let var_im: f64 = samples.iter().map(|z| z.im * z.im).sum::<f64>() / n as f64;
         assert!((var_re - variance / 2.0).abs() < 0.05);

@@ -63,7 +63,10 @@ impl NormalSampler {
 
     /// Draws one `N(mean, std²)` sample.
     pub fn sample_with<R: Rng + ?Sized>(&mut self, rng: &mut R, mean: f64, std: f64) -> f64 {
-        assert!(std >= 0.0, "standard deviation must be non-negative, got {std}");
+        assert!(
+            std >= 0.0,
+            "standard deviation must be non-negative, got {std}"
+        );
         mean + std * self.sample(rng)
     }
 
@@ -146,7 +149,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let mut sampler = NormalSampler::default();
         let n = 100_000;
-        let samples: Vec<f64> = (0..n).map(|_| sampler.sample_with(&mut rng, 3.0, 2.0)).collect();
+        let samples: Vec<f64> = (0..n)
+            .map(|_| sampler.sample_with(&mut rng, 3.0, 2.0))
+            .collect();
         let (mean, var, _, _) = moments(&samples);
         assert!((mean - 3.0).abs() < 0.03);
         assert!((var - 4.0).abs() < 0.1);

@@ -31,9 +31,24 @@ impl RandomStream {
         // dedicated 64-bit stream field so substreams never overlap.
         let mut key = [0u8; 32];
         key[..8].copy_from_slice(&seed.to_le_bytes());
-        key[8..16].copy_from_slice(&seed.rotate_left(17).wrapping_mul(0x9E37_79B9_7F4A_7C15).to_le_bytes());
-        key[16..24].copy_from_slice(&seed.rotate_left(31).wrapping_mul(0xBF58_476D_1CE4_E5B9).to_le_bytes());
-        key[24..32].copy_from_slice(&seed.rotate_left(47).wrapping_mul(0x94D0_49BB_1331_11EB).to_le_bytes());
+        key[8..16].copy_from_slice(
+            &seed
+                .rotate_left(17)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .to_le_bytes(),
+        );
+        key[16..24].copy_from_slice(
+            &seed
+                .rotate_left(31)
+                .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+                .to_le_bytes(),
+        );
+        key[24..32].copy_from_slice(
+            &seed
+                .rotate_left(47)
+                .wrapping_mul(0x94D0_49BB_1331_11EB)
+                .to_le_bytes(),
+        );
         let mut rng = ChaCha20Rng::from_seed(key);
         rng.set_stream(stream);
         Self { rng, seed, stream }
@@ -53,7 +68,10 @@ impl RandomStream {
     /// stream index. Useful when a component needs to hand independent
     /// randomness to sub-components deterministically.
     pub fn child(&self, index: u64) -> Self {
-        Self::substream(self.seed, self.stream.wrapping_mul(0x1_0000).wrapping_add(index + 1))
+        Self::substream(
+            self.seed,
+            self.stream.wrapping_mul(0x1_0000).wrapping_add(index + 1),
+        )
     }
 }
 

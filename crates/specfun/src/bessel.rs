@@ -60,10 +60,14 @@ fn bessel_asymptotic(nu: u32, x: f64) -> f64 {
         // term for P: involves factors (mu - (4k-3)^2)(mu - (4k-1)^2)
         let a = 4.0 * k as f64 - 3.0;
         let b = 4.0 * k as f64 - 1.0;
-        term_p *= (mu - a * a) * (mu - b * b) / ((2.0 * k as f64 - 1.0) * (2.0 * k as f64)) * inv8x * inv8x;
+        term_p *= (mu - a * a) * (mu - b * b) / ((2.0 * k as f64 - 1.0) * (2.0 * k as f64))
+            * inv8x
+            * inv8x;
         p += sign * term_p;
         let c = 4.0 * k as f64 + 1.0;
-        term_q *= (mu - b * b) * (mu - c * c) / ((2.0 * k as f64) * (2.0 * k as f64 + 1.0)) * inv8x * inv8x;
+        term_q *= (mu - b * b) * (mu - c * c) / ((2.0 * k as f64) * (2.0 * k as f64 + 1.0))
+            * inv8x
+            * inv8x;
         q += sign * term_q;
         sign = -sign;
         k += 1;
@@ -231,9 +235,9 @@ mod tests {
             (2, 1.0, 0.114903484931901),
             (2, 5.0, 0.046565116277752),
             (3, 2.0, 0.128943249474402),
-            (4, 2.5, 0.073781880054255233),
+            (4, 2.5, 0.073_781_880_054_255_23),
             (5, 10.0, -0.234061528186794),
-            (7, 15.0, 0.034463655418959165),
+            (7, 15.0, 0.034_463_655_418_959_16),
             (10, 1.0, 2.630615123687453e-10),
             (10, 20.0, 0.186482558023945),
             (12, 4.0, 6.264461794312207e-06),

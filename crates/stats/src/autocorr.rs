@@ -129,7 +129,9 @@ mod tests {
     #[test]
     fn complex_exponential_has_rotating_autocorrelation() {
         let omega = 0.3;
-        let data: Vec<Complex64> = (0..2000).map(|l| Complex64::cis(omega * l as f64)).collect();
+        let data: Vec<Complex64> = (0..2000)
+            .map(|l| Complex64::cis(omega * l as f64))
+            .collect();
         let r = normalized_autocorrelation(&data, 10);
         for (d, &rd) in r.iter().enumerate() {
             // The real part of the normalized autocorrelation is cos(ω d)
@@ -155,7 +157,9 @@ mod tests {
 
     #[test]
     fn cross_correlation_of_identical_sequences_is_autocorrelation() {
-        let data: Vec<Complex64> = (0..50).map(|i| c64((i as f64).sin(), (i as f64 * 0.5).cos())).collect();
+        let data: Vec<Complex64> = (0..50)
+            .map(|i| c64((i as f64).sin(), (i as f64 * 0.5).cos()))
+            .collect();
         let auto = autocorrelation(&data, 5);
         let cross = cross_correlation(&data, &data, 5);
         for d in 0..=5 {

@@ -22,7 +22,11 @@ pub fn sample_covariance(samples: &[Vec<Complex64>]) -> CMatrix {
     let n = samples[0].len();
     let mut k = CMatrix::zeros(n, n);
     for (s, snap) in samples.iter().enumerate() {
-        assert_eq!(snap.len(), n, "sample_covariance: snapshot {s} has ragged length");
+        assert_eq!(
+            snap.len(),
+            n,
+            "sample_covariance: snapshot {s} has ragged length"
+        );
         for i in 0..n {
             for j in 0..n {
                 k[(i, j)] += snap[i] * snap[j].conj();
@@ -46,11 +50,15 @@ pub fn sample_covariance_from_paths(paths: &[Vec<Complex64>]) -> CMatrix {
     let n = paths.len();
     let mut k = CMatrix::zeros(n, n);
     for i in 0..n {
-        assert_eq!(paths[i].len(), len, "sample_covariance_from_paths: path {i} has ragged length");
+        assert_eq!(
+            paths[i].len(),
+            len,
+            "sample_covariance_from_paths: path {i} has ragged length"
+        );
         for j in 0..n {
             let mut acc = Complex64::ZERO;
-            for s in 0..len {
-                acc += paths[i][s] * paths[j][s].conj();
+            for (zi, zj) in paths[i].iter().zip(paths[j].iter()) {
+                acc += *zi * zj.conj();
             }
             k[(i, j)] = acc.unscale(len as f64);
         }
@@ -64,11 +72,12 @@ pub fn sample_covariance_from_paths(paths: &[Vec<Complex64>]) -> CMatrix {
 ///
 /// # Panics
 /// Panics if the paths have different lengths.
-pub fn real_imag_covariances(
-    path_k: &[Complex64],
-    path_j: &[Complex64],
-) -> (f64, f64, f64, f64) {
-    assert_eq!(path_k.len(), path_j.len(), "real_imag_covariances: length mismatch");
+pub fn real_imag_covariances(path_k: &[Complex64], path_j: &[Complex64]) -> (f64, f64, f64, f64) {
+    assert_eq!(
+        path_k.len(),
+        path_j.len(),
+        "real_imag_covariances: length mismatch"
+    );
     assert!(!path_k.is_empty(), "real_imag_covariances: empty paths");
     let n = path_k.len() as f64;
     let mut rxx = 0.0;
@@ -96,12 +105,18 @@ pub fn complex_covariance_from_parts(rxx: f64, ryy: f64, rxy: f64, ryx: f64) -> 
 /// # Panics
 /// Panics if the matrix is not square or has a non-positive diagonal entry.
 pub fn correlation_from_covariance(k: &CMatrix) -> CMatrix {
-    assert!(k.is_square(), "correlation_from_covariance: matrix must be square");
+    assert!(
+        k.is_square(),
+        "correlation_from_covariance: matrix must be square"
+    );
     let n = k.rows();
     let mut diag = Vec::with_capacity(n);
     for i in 0..n {
         let d = k[(i, i)].re;
-        assert!(d > 0.0, "correlation_from_covariance: non-positive variance at index {i}");
+        assert!(
+            d > 0.0,
+            "correlation_from_covariance: non-positive variance at index {i}"
+        );
         diag.push(d);
     }
     CMatrix::from_fn(n, n, |i, j| k[(i, j)].unscale((diag[i] * diag[j]).sqrt()))
@@ -194,6 +209,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "ragged")]
     fn ragged_snapshots_rejected() {
-        let _ = sample_covariance(&[vec![Complex64::ZERO], vec![Complex64::ZERO, Complex64::ZERO]]);
+        let _ = sample_covariance(&[
+            vec![Complex64::ZERO],
+            vec![Complex64::ZERO, Complex64::ZERO],
+        ]);
     }
 }

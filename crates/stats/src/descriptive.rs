@@ -89,7 +89,10 @@ pub fn max(data: &[f64]) -> f64 {
 /// # Panics
 /// Panics if `q` is outside `[0, 1]` or the slice is empty.
 pub fn quantile(data: &[f64], q: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1], got {q}");
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "quantile must be in [0, 1], got {q}"
+    );
     assert!(!data.is_empty(), "quantile of empty slice");
     let mut sorted = data.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(core::cmp::Ordering::Equal));

@@ -38,7 +38,10 @@ pub fn theoretical_afd(rho: f64, fm: f64) -> f64 {
 /// # Panics
 /// Panics if `envelope` has fewer than two samples.
 pub fn empirical_lcr(envelope: &[f64], threshold: f64) -> f64 {
-    assert!(envelope.len() >= 2, "empirical_lcr: need at least two samples");
+    assert!(
+        envelope.len() >= 2,
+        "empirical_lcr: need at least two samples"
+    );
     let crossings = envelope
         .windows(2)
         .filter(|w| w[0] < threshold && w[1] >= threshold)
@@ -115,9 +118,7 @@ mod tests {
 
     #[test]
     fn theoretical_lcr_scales_linearly_with_fm() {
-        assert!(
-            (theoretical_lcr(1.0, 0.1) - 2.0 * theoretical_lcr(1.0, 0.05)).abs() < 1e-15
-        );
+        assert!((theoretical_lcr(1.0, 0.1) - 2.0 * theoretical_lcr(1.0, 0.05)).abs() < 1e-15);
     }
 
     #[test]
@@ -126,7 +127,7 @@ mod tests {
         for &rho in &[0.1, 0.5, 1.0, 2.0] {
             for &fm in &[0.01, 0.05, 0.2] {
                 let product = theoretical_lcr(rho, fm) * theoretical_afd(rho, fm);
-                let outage = 1.0 - (-rho * rho as f64).exp();
+                let outage = 1.0 - (-rho * rho).exp();
                 assert!(
                     (product - outage).abs() < 1e-12,
                     "identity failed at rho={rho}, fm={fm}"

@@ -111,7 +111,11 @@ pub fn chi_square_test(
     min_expected: f64,
     extra_constraints: usize,
 ) -> ChiSquareTest {
-    assert_eq!(observed.len(), expected.len(), "chi_square_test: length mismatch");
+    assert_eq!(
+        observed.len(),
+        expected.len(),
+        "chi_square_test: length mismatch"
+    );
     assert!(!observed.is_empty(), "chi_square_test: empty input");
 
     // Merge low-expectation bins.

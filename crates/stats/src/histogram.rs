@@ -22,7 +22,10 @@ impl Histogram {
     /// Panics if `bins == 0` or `hi <= lo`.
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(bins > 0, "histogram needs at least one bin");
-        assert!(hi > lo, "histogram range must be non-empty (lo {lo}, hi {hi})");
+        assert!(
+            hi > lo,
+            "histogram range must be non-empty (lo {lo}, hi {hi})"
+        );
         Self {
             lo,
             hi,
@@ -41,7 +44,11 @@ impl Histogram {
         assert!(!data.is_empty(), "Histogram::from_data: empty data");
         let lo = data.iter().copied().fold(f64::INFINITY, f64::min);
         let hi = data.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        let hi = if hi > lo { hi * (1.0 + 1e-12) + 1e-300 } else { lo + 1.0 };
+        let hi = if hi > lo {
+            hi * (1.0 + 1e-12) + 1e-300
+        } else {
+            lo + 1.0
+        };
         let mut h = Self::new(lo, hi, bins);
         h.add_all(data);
         h

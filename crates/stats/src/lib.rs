@@ -36,7 +36,10 @@ pub use covariance::{
     complex_covariance_from_parts, correlation_from_covariance, real_imag_covariances,
     relative_frobenius_error, sample_covariance, sample_covariance_from_paths,
 };
-pub use descriptive::{kurtosis, mean, mean_square, median, pearson_correlation, quantile, rms, skewness, std_dev, variance};
+pub use descriptive::{
+    kurtosis, mean, mean_square, median, pearson_correlation, quantile, rms, skewness, std_dev,
+    variance,
+};
 pub use fading_metrics::{
     empirical_afd, empirical_lcr, envelope_db_around_rms, envelope_rms, theoretical_afd,
     theoretical_lcr,

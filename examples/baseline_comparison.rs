@@ -52,9 +52,16 @@ fn main() {
 
     println!(
         "{:<18} {:<14} {:<16} {:<18} {:<14} {:<18}",
-        "scenario", "proposed", "Salz-Winters[1]", "Beaulieu-Merani[4]", "Natarajan[5]", "Sorooshyari-Daut[6]"
+        "scenario",
+        "proposed",
+        "Salz-Winters[1]",
+        "Beaulieu-Merani[4]",
+        "Natarajan[5]",
+        "Sorooshyari-Daut[6]"
     );
-    println!("(numbers are relative Frobenius errors of the achieved covariance; text = failure reason)");
+    println!(
+        "(numbers are relative Frobenius errors of the achieved covariance; text = failure reason)"
+    );
 
     for (name, k) in scenarios {
         let proposed = err_or_fail(
@@ -104,8 +111,12 @@ fn main() {
     println!();
     println!("Notes:");
     println!("  * on the non-PSD target the proposed algorithm (and Sorooshyari-Daut) report the");
-    println!("    error against the original, infeasible matrix — the residual error is exactly the");
+    println!(
+        "    error against the original, infeasible matrix — the residual error is exactly the"
+    );
     println!("    distance to the closest realizable (PSD) covariance.");
-    println!("  * Natarajan[5] runs in its lossy mode (imaginary parts dropped), so its error on the");
+    println!(
+        "  * Natarajan[5] runs in its lossy mode (imaginary parts dropped), so its error on the"
+    );
     println!("    spectral scenario reflects the bias of forcing covariances to be real.");
 }

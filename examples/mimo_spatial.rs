@@ -16,15 +16,13 @@ use corrfade_stats::{relative_frobenius_error, sample_covariance};
 fn main() {
     // How does adjacent-antenna correlation depend on spacing and spread?
     println!("adjacent-antenna correlation |K[1,2]| as a function of geometry:");
-    println!("{:>12} {:>12} {:>14}", "D/lambda", "spread [deg]", "|correlation|");
+    println!(
+        "{:>12} {:>12} {:>14}",
+        "D/lambda", "spread [deg]", "|correlation|"
+    );
     for &spacing in &[0.25f64, 0.5, 1.0, 2.0] {
         for &spread_deg in &[2.0f64, 10.0, 30.0, 90.0] {
-            let model = SalzWintersSpatialModel::new(
-                1.0,
-                spacing,
-                0.0,
-                spread_deg.to_radians(),
-            );
+            let model = SalzWintersSpatialModel::new(1.0, spacing, 0.0, spread_deg.to_radians());
             let c = model.complex_covariance(0, 1).abs();
             println!("{spacing:>12.2} {spread_deg:>12.1} {c:>14.4}");
         }

@@ -10,16 +10,20 @@
 //! Run with: `cargo run --release --example ofdm_spectral`
 
 use corrfade::GeneratorBuilder;
-use corrfade_models::{
-    pairwise_delays_from_arrival_times, ChannelParams, JakesSpectralModel,
-};
+use corrfade_models::{pairwise_delays_from_arrival_times, ChannelParams, JakesSpectralModel};
 use corrfade_stats::{relative_frobenius_error, sample_covariance_from_paths};
 
 fn main() {
     // Physical scenario: GSM 900, 60 km/h, 1 kHz sampling, 1 µs delay spread.
     let channel = ChannelParams::paper_defaults();
-    println!("maximum Doppler frequency: {:.1} Hz", channel.max_doppler_hz());
-    println!("normalized Doppler fm:     {:.3}", channel.normalized_doppler());
+    println!(
+        "maximum Doppler frequency: {:.1} Hz",
+        channel.max_doppler_hz()
+    );
+    println!(
+        "normalized Doppler fm:     {:.3}",
+        channel.normalized_doppler()
+    );
 
     // Three carriers, 200 kHz apart, with arrival times 0 / 1 / 4 ms.
     let model = JakesSpectralModel::new(1.0, channel.max_doppler_hz(), channel.rms_delay_spread_s);

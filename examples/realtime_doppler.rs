@@ -67,7 +67,10 @@ fn main() {
     let env = &block.envelope_paths[0];
     let rms = corrfade_stats::envelope_rms(env);
     println!();
-    println!("{:>10} {:>16} {:>16}", "rho=R/Rrms", "LCR measured", "LCR theory");
+    println!(
+        "{:>10} {:>16} {:>16}",
+        "rho=R/Rrms", "LCR measured", "LCR theory"
+    );
     for &rho_t in &[0.1f64, 0.3, 0.5, 1.0, 1.5] {
         println!(
             "{rho_t:>10.1} {:>16.5} {:>16.5}",

@@ -123,10 +123,9 @@ fn variance_aware_combination_beats_the_flawed_one() {
     let err_proposed =
         relative_frobenius_error(&sample_covariance_from_paths(&block.gaussian_paths), &k);
 
-    let mut flawed = corrfade_baselines::SorooshyariDautRealtimeGenerator::new(
-        &k, 1024, 0.05, 0.5, 0xE2E5,
-    )
-    .unwrap();
+    let mut flawed =
+        corrfade_baselines::SorooshyariDautRealtimeGenerator::new(&k, 1024, 0.05, 0.5, 0xE2E5)
+            .unwrap();
     let mut paths: Vec<Vec<corrfade_linalg::Complex64>> = vec![Vec::new(); 3];
     for _ in 0..20 {
         let b = flawed.generate_block();

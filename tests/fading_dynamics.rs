@@ -84,8 +84,7 @@ fn outage_probability_is_rayleigh() {
     let env = long_envelope(0.05, 20, 0xFAD4);
     let rms = envelope_rms(&env);
     for &rho in &[0.1f64, 0.3, 1.0] {
-        let measured =
-            env.iter().filter(|&&r| r < rho * rms).count() as f64 / env.len() as f64;
+        let measured = env.iter().filter(|&&r| r < rho * rms).count() as f64 / env.len() as f64;
         let theory = 1.0 - (-rho * rho).exp();
         assert!(
             (measured - theory).abs() < 0.01 + 0.1 * theory,

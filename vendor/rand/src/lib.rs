@@ -1,0 +1,291 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment of this workspace has no network access to a crates
+//! registry, so the small API subset the workspace actually consumes is
+//! re-implemented here, signature-compatible with `rand` 0.8:
+//!
+//! * [`RngCore`] / [`SeedableRng`] / the blanket [`Rng`] extension trait,
+//! * `Rng::gen::<T>()` for the primitive types the workspace samples,
+//! * [`rngs::StdRng`] — a deterministic, seedable generator (xoshiro256++,
+//!   seeded via SplitMix64; *not* bit-compatible with upstream `StdRng`,
+//!   which no test in this workspace relies on),
+//! * the [`Error`] type used by `RngCore::try_fill_bytes`.
+//!
+//! If the real `rand` crate ever becomes available, deleting `vendor/rand`
+//! and pointing the workspace dependency at the registry is a drop-in swap.
+
+#![warn(missing_docs)]
+
+use core::fmt;
+
+/// Error type reported by [`RngCore::try_fill_bytes`].
+///
+/// The in-tree generators are infallible, so this error is never produced;
+/// it exists for signature compatibility with `rand` 0.8.
+#[derive(Debug)]
+pub struct Error {
+    _private: (),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "random number generator failure")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator: a source of uniformly random bits.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+
+    /// Fills `dest` with random bytes, reporting failure as an [`Error`].
+    ///
+    /// The in-tree generators never fail, so the default implementation
+    /// simply delegates to [`RngCore::fill_bytes`].
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        (**self).try_fill_bytes(dest)
+    }
+}
+
+/// A generator that can be instantiated from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// The seed type, e.g. `[u8; 32]`.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates a generator from the full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, expanding it into a full seed with
+    /// SplitMix64 (the same construction `rand` 0.8 uses).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64::new(state);
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let bytes = sm.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types that can be sampled uniformly from raw random bits — the stand-in
+/// for `rand`'s `Standard` distribution.
+pub trait SampleStandard {
+    /// Draws one uniformly-distributed value from `rng`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl SampleStandard for f64 {
+    /// Uniform in `[0, 1)` with 53 random mantissa bits.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl SampleStandard for f32 {
+    /// Uniform in `[0, 1)` with 24 random mantissa bits.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl SampleStandard for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl SampleStandard for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl SampleStandard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+/// Extension methods on any [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Draws one value of type `T` from the standard uniform distribution
+    /// (`[0, 1)` for floats, full range for integers).
+    fn gen<T: SampleStandard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Draws one `f64` uniformly from `[low, high)`.
+    fn gen_range(&mut self, range: core::ops::Range<f64>) -> f64 {
+        debug_assert!(range.start < range.end, "gen_range: empty range");
+        range.start + (range.end - range.start) * self.gen::<f64>()
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// SplitMix64 — used to expand small seeds into full generator states.
+#[derive(Debug, Clone)]
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(state: u64) -> Self {
+        Self { state }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Concrete generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's deterministic default generator — xoshiro256++.
+    ///
+    /// Upstream `rand 0.8` implements `StdRng` as ChaCha12; the statistical
+    /// and reproducibility properties the workspace tests rely on (identical
+    /// seed → identical stream, excellent equidistribution) hold for
+    /// xoshiro256++ as well, with much less code.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+        buffered: Option<u32>,
+    }
+
+    impl StdRng {
+        fn next_raw(&mut self) -> u64 {
+            let out = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+                *word = u64::from_le_bytes(b);
+            }
+            // An all-zero state is the one fixed point of xoshiro; nudge it.
+            if s == [0; 4] {
+                s = [
+                    0x9E37_79B9_7F4A_7C15,
+                    0xBF58_476D_1CE4_E5B9,
+                    0x94D0_49BB_1331_11EB,
+                    0x2545_F491_4F6C_DD1D,
+                ];
+            }
+            Self { s, buffered: None }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            if let Some(hi) = self.buffered.take() {
+                return hi;
+            }
+            let v = self.next_raw();
+            self.buffered = Some((v >> 32) as u32);
+            v as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.buffered = None;
+            self.next_raw()
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let bytes = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&bytes[..chunk.len()]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn std_rng_is_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_f64_is_in_unit_interval_and_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        assert!((sum / n as f64 - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+        rng.try_fill_bytes(&mut buf).unwrap();
+    }
+}
