@@ -1,9 +1,9 @@
-//! Baselines [4] and [5]: Cholesky-coloring generators.
+//! Baselines \[4\] and \[5\]: Cholesky-coloring generators.
 //!
-//! * **Beaulieu & Merani [4]** — generalizes the two-envelope method to
+//! * **Beaulieu & Merani \[4\]** — generalizes the two-envelope method to
 //!   `N ≥ 2` **equal-power** envelopes by Cholesky-factorizing the desired
 //!   covariance matrix. Requires positive definiteness.
-//! * **Natarajan, Nassar & Chandrasekhar [5]** — allows **unequal** powers,
+//! * **Natarajan, Nassar & Chandrasekhar \[5\]** — allows **unequal** powers,
 //!   but (a) still relies on Cholesky factorization and (b) forces the
 //!   covariances of the complex Gaussians to be **real** (Eq. 8 of that
 //!   letter), which biases the result whenever the true covariances are
@@ -44,7 +44,7 @@ fn cholesky_or_error(k: &CMatrix, method: &'static str) -> Result<CMatrix, Basel
 }
 
 /// The Beaulieu–Merani equal-power, N ≥ 2, Cholesky-based generator
-/// (baseline [4]).
+/// (baseline \[4\]).
 #[derive(Debug, Clone)]
 pub struct BeaulieuMeraniGenerator {
     coloring: CMatrix,
@@ -99,7 +99,7 @@ impl BeaulieuMeraniGenerator {
     }
 }
 
-/// The Natarajan–Nassar–Chandrasekhar generator (baseline [5]): arbitrary
+/// The Natarajan–Nassar–Chandrasekhar generator (baseline \[5\]): arbitrary
 /// powers, Cholesky coloring, covariances forced to be real.
 #[derive(Debug, Clone)]
 pub struct NatarajanGenerator {
@@ -134,7 +134,7 @@ impl NatarajanGenerator {
         Self::new_lossy(k, seed)
     }
 
-    /// Builds the generator the way ref. [5] actually behaves on complex
+    /// Builds the generator the way ref. \[5\] actually behaves on complex
     /// covariances: the imaginary parts are silently dropped (`K ← Re(K)`)
     /// and generation proceeds. Used by the E10 experiment to quantify the
     /// resulting bias.

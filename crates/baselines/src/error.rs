@@ -10,13 +10,13 @@ use core::fmt;
 /// Failure modes of the conventional correlated-Rayleigh generators.
 #[derive(Debug, Clone, PartialEq)]
 pub enum BaselineError {
-    /// The method only supports equal-power envelopes (refs [1], [2], [3],
-    /// [4], [6]).
+    /// The method only supports equal-power envelopes (refs \[1\], \[2\], \[3\],
+    /// \[4\], \[6\]).
     UnequalPowersUnsupported {
         /// Human-readable method name.
         method: &'static str,
     },
-    /// The method only supports a fixed number of envelopes (refs [2], [3]
+    /// The method only supports a fixed number of envelopes (refs \[2\], \[3\]
     /// support N = 2 only).
     UnsupportedDimension {
         /// Human-readable method name.
@@ -27,7 +27,7 @@ pub enum BaselineError {
         requested: usize,
     },
     /// The method requires a positive-definite covariance matrix and its
-    /// Cholesky factorization failed (refs [4], [5], and [6] when the
+    /// Cholesky factorization failed (refs \[4\], \[5\], and \[6\] when the
     /// ε-forced matrix is still numerically singular).
     CholeskyFailed {
         /// Human-readable method name.
@@ -36,14 +36,14 @@ pub enum BaselineError {
         pivot: usize,
     },
     /// The method requires a positive semi-definite covariance matrix
-    /// (ref. [1]).
+    /// (ref. \[1\]).
     NotPositiveSemidefinite {
         /// Human-readable method name.
         method: &'static str,
         /// The most negative eigenvalue encountered.
         min_eigenvalue: f64,
     },
-    /// The method cannot represent complex covariances (ref. [5] forces them
+    /// The method cannot represent complex covariances (ref. \[5\] forces them
     /// to be real). This is reported when the requested covariance has a
     /// significant imaginary part so the caller knows the result will be
     /// biased.

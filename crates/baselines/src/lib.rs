@@ -1,20 +1,20 @@
 //! # corrfade-baselines
 //!
 //! Faithful reproductions of the conventional correlated-Rayleigh generation
-//! methods the paper compares against (its references [1]–[7]), **including
+//! methods the paper compares against (its references \[1\]–\[7\]), **including
 //! their original restrictions and flaws**, so the experiment harness can
 //! chart where each one fails and quantify the advantage of the proposed
 //! algorithm:
 //!
 //! | Baseline | Module | Restrictions reproduced |
 //! |----------|--------|------------------------|
-//! | Salz & Winters [1] | [`salz_winters_gen`] | equal powers; covariance must be PSD |
-//! | Ertel & Reed [2] | [`two_envelope`] | N = 2, equal powers |
-//! | Beaulieu [3] | [`two_envelope`] | N = 2, equal powers, real covariance |
-//! | Beaulieu & Merani [4] | [`cholesky_methods`] | equal powers, Cholesky (PD required) |
-//! | Natarajan et al. [5] | [`cholesky_methods`] | Cholesky (PD required), covariances forced real |
-//! | Sorooshyari & Daut [6] | [`sorooshyari_daut`] | equal powers, ε-PSD forcing + Cholesky, unit-variance Doppler combination |
-//! | Young & Beaulieu [7] | re-exported from `corrfade-dsp` | single envelope only (no cross-correlation) |
+//! | Salz & Winters \[1\] | [`salz_winters_gen`] | equal powers; covariance must be PSD |
+//! | Ertel & Reed \[2\] | [`two_envelope`] | N = 2, equal powers |
+//! | Beaulieu \[3\] | [`two_envelope`] | N = 2, equal powers, real covariance |
+//! | Beaulieu & Merani \[4\] | [`cholesky_methods`] | equal powers, Cholesky (PD required) |
+//! | Natarajan et al. \[5\] | [`cholesky_methods`] | Cholesky (PD required), covariances forced real |
+//! | Sorooshyari & Daut \[6\] | [`sorooshyari_daut`] | equal powers, ε-PSD forcing + Cholesky, unit-variance Doppler combination |
+//! | Young & Beaulieu \[7\] | re-exported from `corrfade-dsp` | single envelope only (no cross-correlation) |
 //!
 //! The proposed algorithm itself lives in the `corrfade` crate.
 
@@ -44,17 +44,17 @@ pub use corrfade_dsp::IdftRayleighGenerator as YoungBeaulieuGenerator;
 /// experiment harness to build the E10 shortcoming matrix).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BaselineMethod {
-    /// Salz & Winters [1].
+    /// Salz & Winters \[1\].
     SalzWinters,
-    /// Ertel & Reed [2].
+    /// Ertel & Reed \[2\].
     ErtelReed,
-    /// Beaulieu [3].
+    /// Beaulieu \[3\].
     Beaulieu,
-    /// Beaulieu & Merani [4].
+    /// Beaulieu & Merani \[4\].
     BeaulieuMerani,
-    /// Natarajan, Nassar & Chandrasekhar [5].
+    /// Natarajan, Nassar & Chandrasekhar \[5\].
     Natarajan,
-    /// Sorooshyari & Daut [6].
+    /// Sorooshyari & Daut \[6\].
     SorooshyariDaut,
 }
 

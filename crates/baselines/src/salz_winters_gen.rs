@@ -1,6 +1,6 @@
-//! Baseline [1]: Salz & Winters' real-embedding generator.
+//! Baseline \[1\]: Salz & Winters' real-embedding generator.
 //!
-//! Salz & Winters (paper ref. [1]) generate `N` correlated complex Gaussian
+//! Salz & Winters (paper ref. \[1\]) generate `N` correlated complex Gaussian
 //! fades by coloring a vector of `2N` **real** Gaussian variables with a
 //! square root of the `2N × 2N` real covariance matrix
 //! `[[Rxx, Rxy], [Ryx, Ryy]]` assembled from the four covariance blocks of
@@ -25,7 +25,7 @@ use crate::error::BaselineError;
 /// embedding is attributed to round-off rather than genuine indefiniteness.
 const PSD_TOL: f64 = 1e-10;
 
-/// The Salz–Winters real-embedding generator (baseline [1]).
+/// The Salz–Winters real-embedding generator (baseline \[1\]).
 #[derive(Debug, Clone)]
 pub struct SalzWintersGenerator {
     n: usize,

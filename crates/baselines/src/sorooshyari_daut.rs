@@ -1,4 +1,4 @@
-//! Baseline [6]: Sorooshyari & Daut's generator, including its flawed
+//! Baseline \[6\]: Sorooshyari & Daut's generator, including its flawed
 //! real-time (Doppler) combination.
 //!
 //! Sorooshyari & Daut handle covariance matrices that are not positive
@@ -8,7 +8,7 @@
 //! approximation, and (b) still at the mercy of Cholesky round-off when the
 //! resulting matrix is near-singular.
 //!
-//! For the real-time scenario, ref. [6] feeds Young–Beaulieu Doppler
+//! For the real-time scenario, ref. \[6\] feeds Young–Beaulieu Doppler
 //! generator outputs into its coloring step **assuming unit variance** of
 //! those outputs. In reality the Doppler filter changes the variance to
 //! `σ_g² = 2·σ²_orig/M²·ΣF[k]²` (paper Eq. 19), so the realized covariance is
@@ -23,11 +23,11 @@ use corrfade_randn::{ComplexGaussian, RandomStream};
 use crate::error::BaselineError;
 
 /// The default ε used when rebuilding a non-PSD covariance matrix, matching
-/// the "small positive number" of ref. [6].
+/// the "small positive number" of ref. \[6\].
 pub const DEFAULT_EPSILON: f64 = 1e-4;
 
 /// Replaces every non-positive eigenvalue of `k` with `epsilon` and rebuilds
-/// the matrix (the ref.-[6] approximation). Returns the rebuilt matrix and
+/// the matrix (the ref.-\[6\] approximation). Returns the rebuilt matrix and
 /// the number of replaced eigenvalues.
 ///
 /// # Errors
@@ -53,7 +53,7 @@ pub fn epsilon_psd_forcing(k: &CMatrix, epsilon: f64) -> Result<(CMatrix, usize)
     Ok((eig.reconstruct_with(&adjusted), replaced))
 }
 
-/// The Sorooshyari–Daut single-instant generator (baseline [6]): equal-power
+/// The Sorooshyari–Daut single-instant generator (baseline \[6\]): equal-power
 /// envelopes, ε-forced PSD approximation, Cholesky coloring.
 #[derive(Debug, Clone)]
 pub struct SorooshyariDautGenerator {
@@ -74,7 +74,7 @@ impl SorooshyariDautGenerator {
     ///
     /// # Errors
     /// Unequal powers are rejected; Cholesky failure on the ε-forced matrix
-    /// (which ref. [6] reports happening in MATLAB for some complex
+    /// (which ref. \[6\] reports happening in MATLAB for some complex
     /// covariances) is surfaced as [`BaselineError::CholeskyFailed`].
     pub fn with_epsilon(k: &CMatrix, epsilon: f64, seed: u64) -> Result<Self, BaselineError> {
         const METHOD: &str = "Sorooshyari-Daut [6]";
@@ -134,7 +134,7 @@ impl SorooshyariDautGenerator {
     }
 
     /// Draws one correlated complex Gaussian vector (unit-variance white
-    /// input, as in ref. [6]).
+    /// input, as in ref. \[6\]).
     pub fn sample_gaussian(&mut self) -> Vec<Complex64> {
         let w = self
             .gaussian
@@ -153,7 +153,7 @@ impl SorooshyariDautGenerator {
     }
 }
 
-/// The flawed real-time combination of ref. [6]: Doppler-filtered sequences
+/// The flawed real-time combination of ref. \[6\]: Doppler-filtered sequences
 /// are colored **as if they had unit variance**, ignoring the Eq.-19 variance
 /// change of the Doppler filter.
 #[derive(Debug, Clone)]

@@ -1,19 +1,19 @@
-//! Baselines [2] and [3]: the two-envelope, equal-power generators of
+//! Baselines \[2\] and \[3\]: the two-envelope, equal-power generators of
 //! Ertel & Reed and of Beaulieu.
 //!
 //! Both papers predate the general-N methods and generate exactly **two**
 //! equal-power correlated Rayleigh envelopes:
 //!
-//! * **Ertel–Reed [2]** — draws an independent pair `(u₁, u₂)` of unit
+//! * **Ertel–Reed \[2\]** — draws an independent pair `(u₁, u₂)` of unit
 //!   complex Gaussians and forms `z₁ = u₁`,
 //!   `z₂ = ρ*·u₁ + √(1 − |ρ|²)·u₂`, where `ρ` is the desired complex
 //!   correlation coefficient of the underlying Gaussians.
-//! * **Beaulieu [3]** — an equivalent construction restricted to a **real**
+//! * **Beaulieu \[3\]** — an equivalent construction restricted to a **real**
 //!   correlation coefficient (the in-phase/quadrature rotation used in that
 //!   letter cannot produce a complex cross-covariance).
 //!
 //! Their shortcomings, as listed in the paper's Sec. 1, are reproduced
-//! faithfully: `N = 2` only, equal power only, and (for [3]) real
+//! faithfully: `N = 2` only, equal power only, and (for \[3\]) real
 //! correlations only.
 
 use corrfade_linalg::{c64, CMatrix, Complex64};
@@ -64,7 +64,7 @@ fn extract_two_envelope_params(
     Ok((p0, rho))
 }
 
-/// The Ertel–Reed two-envelope generator (baseline [2]).
+/// The Ertel–Reed two-envelope generator (baseline \[2\]).
 #[derive(Debug, Clone)]
 pub struct ErtelReedGenerator {
     sigma_sq: f64,
@@ -114,7 +114,7 @@ impl ErtelReedGenerator {
     }
 }
 
-/// The Beaulieu two-envelope generator (baseline [3]), which additionally
+/// The Beaulieu two-envelope generator (baseline \[3\]), which additionally
 /// requires the cross-covariance to be **real**.
 #[derive(Debug, Clone)]
 pub struct BeaulieuGenerator {

@@ -1,29 +1,27 @@
 //! Bench: building the desired covariance matrices of the paper's two
 //! experiments (E1/E2) from the correlation models — Eq. (3)-(4) + (12)-(13)
-//! for the spectral case and Eq. (5)-(7) + (12)-(13) for the spatial case.
+//! for the spectral case and Eq. (5)-(7) + (12)-(13) for the spatial case —
+//! resolved from the scenario registry by name.
 
-use corrfade_models::{paper_spatial_scenario, paper_spectral_scenario, SalzWintersSpatialModel};
+use corrfade_scenarios::lookup;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_paper_matrices(c: &mut Criterion) {
     let mut group = c.benchmark_group("covariance_build/paper");
-    group.bench_function("eq22_spectral_3x3", |b| {
-        let (model, freqs, delays) = paper_spectral_scenario();
-        b.iter(|| model.covariance_matrix(&freqs, &delays).unwrap())
-    });
-    group.bench_function("eq23_spatial_3x3", |b| {
-        let model = paper_spatial_scenario();
-        b.iter(|| model.covariance_matrix(3).unwrap())
-    });
+    for name in ["fig4a-spectral", "fig4b-spatial"] {
+        let scenario = lookup(name).unwrap();
+        group.bench_function(name, |b| b.iter(|| scenario.covariance_matrix().unwrap()));
+    }
     group.finish();
 }
 
 fn bench_spatial_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("covariance_build/spatial_scaling");
+    let family = lookup("mimo-offbroadside").unwrap();
     for &n in &[2usize, 4, 8, 16, 32] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let model = SalzWintersSpatialModel::new(1.0, 0.5, 0.3, 0.2);
-            b.iter(|| model.covariance_matrix(n).unwrap())
+        let scenario = family.with_envelopes(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &scenario, |b, s| {
+            b.iter(|| s.covariance_matrix().unwrap())
         });
     }
     group.finish();

@@ -1,16 +1,18 @@
 //! Bench: the decomposition cost comparison of experiment E9 —
 //! Hermitian-Jacobi eigendecomposition (proposed coloring path) vs Cholesky
 //! factorization (conventional coloring path) as the number of envelopes
-//! grows, on both real and genuinely complex covariance matrices.
+//! grows, on the registered `scaling-exp-rho07` (real) and
+//! `complex-exp-rho08` (genuinely complex) covariance families.
 
-use corrfade_bench::scenarios::{complex_exponential_correlation, exponential_correlation};
 use corrfade_linalg::{cholesky, hermitian_eigen};
+use corrfade_scenarios::lookup;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_real_covariances(c: &mut Criterion) {
     let mut group = c.benchmark_group("decomposition/real");
+    let family = lookup("scaling-exp-rho07").unwrap();
     for &n in &[2usize, 4, 8, 16, 32, 64] {
-        let k = exponential_correlation(n, 0.7);
+        let k = family.with_envelopes(n).covariance_matrix().unwrap();
         group.bench_with_input(BenchmarkId::new("hermitian_eigen", n), &k, |b, k| {
             b.iter(|| hermitian_eigen(k).unwrap())
         });
@@ -23,8 +25,9 @@ fn bench_real_covariances(c: &mut Criterion) {
 
 fn bench_complex_covariances(c: &mut Criterion) {
     let mut group = c.benchmark_group("decomposition/complex");
+    let family = lookup("complex-exp-rho08").unwrap();
     for &n in &[4usize, 16, 64] {
-        let k = complex_exponential_correlation(n, 0.8, 0.7);
+        let k = family.with_envelopes(n).covariance_matrix().unwrap();
         group.bench_with_input(BenchmarkId::new("hermitian_eigen", n), &k, |b, k| {
             b.iter(|| hermitian_eigen(k).unwrap())
         });

@@ -1,17 +1,26 @@
 //! Bench: the Young–Beaulieu Doppler substrate of experiment E6 — filter
 //! design (Eq. 21), the M-point IDFT and one full single-envelope generation,
-//! for the paper's M = 4096 and neighbouring sizes.
+//! for the paper's M = 4096 and neighbouring sizes. The normalized Doppler
+//! frequency and `σ²_orig` come from the registered `fig4a-spectral`
+//! scenario's Doppler settings.
 
 use corrfade_dsp::{fft, ifft, DopplerFilter, IdftRayleighGenerator};
 use corrfade_linalg::c64;
 use corrfade_randn::RandomStream;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
+fn paper_doppler() -> corrfade_scenarios::DopplerSettings {
+    corrfade_scenarios::lookup("fig4a-spectral")
+        .unwrap()
+        .doppler
+}
+
 fn bench_filter_design(c: &mut Criterion) {
+    let fm = paper_doppler().normalized_doppler;
     let mut group = c.benchmark_group("doppler/filter_design");
     for &m in &[1024usize, 4096, 16384] {
         group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
-            b.iter(|| DopplerFilter::new(m, 0.05).unwrap())
+            b.iter(|| DopplerFilter::new(m, fm).unwrap())
         });
     }
     group.finish();
@@ -37,13 +46,17 @@ fn bench_ifft(c: &mut Criterion) {
 }
 
 fn bench_single_envelope_generation(c: &mut Criterion) {
+    let doppler = paper_doppler();
     let mut group = c.benchmark_group("doppler/young_beaulieu_generate");
     group.sample_size(30);
     for &m in &[1024usize, 4096] {
         group.throughput(Throughput::Elements(m as u64));
         group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
-            let gen =
-                IdftRayleighGenerator::new(DopplerFilter::new(m, 0.05).unwrap(), 0.5).unwrap();
+            let gen = IdftRayleighGenerator::new(
+                DopplerFilter::new(m, doppler.normalized_doppler).unwrap(),
+                doppler.sigma_orig_sq,
+            )
+            .unwrap();
             let mut rng = RandomStream::new(1);
             b.iter(|| gen.generate(&mut rng))
         });

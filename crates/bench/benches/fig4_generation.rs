@@ -1,10 +1,9 @@
 //! Bench: regenerating the paper's Fig. 4 experiments — one full real-time
-//! block (M = 4096 samples of N = 3 correlated envelopes) for the spectral
-//! (Fig. 4a) and spatial (Fig. 4b) scenarios, plus the single-instant mode
-//! for reference.
+//! block (M = 4096 samples of N = 3 correlated envelopes) for the registered
+//! `fig4a-spectral` and `fig4b-spatial` scenarios, plus the single-instant
+//! mode for reference.
 
-use corrfade::{CorrelatedRayleighGenerator, RealtimeConfig, RealtimeGenerator};
-use corrfade_models::{paper_covariance_matrix_22, paper_covariance_matrix_23};
+use corrfade_scenarios::lookup;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 fn bench_realtime_blocks(c: &mut Criterion) {
@@ -12,36 +11,24 @@ fn bench_realtime_blocks(c: &mut Criterion) {
     group.throughput(Throughput::Elements(4096 * 3));
     group.sample_size(20);
 
-    group.bench_function("fig4a_spectral", |b| {
-        let mut gen = RealtimeGenerator::new(RealtimeConfig::paper_defaults(
-            paper_covariance_matrix_22(),
-            1,
-        ))
-        .unwrap();
-        b.iter(|| gen.generate_block())
-    });
-    group.bench_function("fig4b_spatial", |b| {
-        let mut gen = RealtimeGenerator::new(RealtimeConfig::paper_defaults(
-            paper_covariance_matrix_23(),
-            1,
-        ))
-        .unwrap();
-        b.iter(|| gen.generate_block())
-    });
+    for name in ["fig4a-spectral", "fig4b-spatial"] {
+        group.bench_function(name, |b| {
+            let mut gen = lookup(name).unwrap().build_realtime(1).unwrap();
+            b.iter(|| gen.generate_block())
+        });
+    }
     group.finish();
 }
 
 fn bench_single_instant(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig4/single_instant_4096_samples");
     group.throughput(Throughput::Elements(4096 * 3));
-    group.bench_function("spectral_eq22", |b| {
-        let mut gen = CorrelatedRayleighGenerator::new(paper_covariance_matrix_22(), 1).unwrap();
-        b.iter(|| gen.generate_snapshots(4096))
-    });
-    group.bench_function("spatial_eq23", |b| {
-        let mut gen = CorrelatedRayleighGenerator::new(paper_covariance_matrix_23(), 1).unwrap();
-        b.iter(|| gen.generate_snapshots(4096))
-    });
+    for name in ["fig4a-spectral", "fig4b-spatial"] {
+        group.bench_function(name, |b| {
+            let mut gen = lookup(name).unwrap().build(1).unwrap();
+            b.iter(|| gen.generate_snapshots(4096))
+        });
+    }
     group.finish();
 }
 

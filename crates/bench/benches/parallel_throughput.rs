@@ -1,24 +1,24 @@
 //! Bench: throughput of the Monte-Carlo engine of experiment E9 —
 //! single-threaded generation vs the scoped-thread engine at several worker
-//! counts, and the streaming covariance estimator.
+//! counts, and the streaming covariance estimator, on the registered
+//! `scaling-exp-rho07` scenario (N = 16).
 
-use corrfade::CorrelatedRayleighGenerator;
-use corrfade_bench::scenarios::exponential_correlation;
 use corrfade_parallel::{generate_snapshots, monte_carlo_covariance, ParallelConfig};
+use corrfade_scenarios::lookup;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-const N: usize = 16;
 const TOTAL: usize = 100_000;
 
 fn bench_snapshot_generation(c: &mut Criterion) {
-    let k = exponential_correlation(N, 0.7);
+    let scenario = lookup("scaling-exp-rho07").unwrap();
+    let k = scenario.covariance_matrix().unwrap();
     let mut group = c.benchmark_group("parallel/snapshots_n16");
     group.throughput(Throughput::Elements(TOTAL as u64));
     group.sample_size(10);
 
     group.bench_function("sequential", |b| {
         b.iter(|| {
-            let mut gen = CorrelatedRayleighGenerator::new(k.clone(), 1).unwrap();
+            let mut gen = scenario.build(1).unwrap();
             gen.generate_snapshots(TOTAL)
         })
     });
@@ -40,7 +40,10 @@ fn bench_snapshot_generation(c: &mut Criterion) {
 }
 
 fn bench_streaming_covariance(c: &mut Criterion) {
-    let k = exponential_correlation(N, 0.7);
+    let k = lookup("scaling-exp-rho07")
+        .unwrap()
+        .covariance_matrix()
+        .unwrap();
     let mut group = c.benchmark_group("parallel/streaming_covariance_n16");
     group.throughput(Throughput::Elements(TOTAL as u64));
     group.sample_size(10);

@@ -1,17 +1,18 @@
 //! Bench: the PSD-forcing ablation of experiment E7 — zero-clipping
-//! (proposed) vs ε-replacement (ref. [6]) on indefinite covariance matrices
-//! of growing size, plus the pure forcing step on PSD inputs (the fast
-//! path).
+//! (proposed) vs ε-replacement (ref. \[6\]) on the registered
+//! `indefinite-rho09` family at growing size, plus the pure forcing step on
+//! PSD inputs (`scaling-exp-rho07`, the fast path).
 
 use corrfade::force_positive_semidefinite;
 use corrfade_baselines::epsilon_psd_forcing;
-use corrfade_bench::scenarios::{exponential_correlation, indefinite_correlation};
+use corrfade_scenarios::lookup;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_forcing_indefinite(c: &mut Criterion) {
     let mut group = c.benchmark_group("psd_forcing/indefinite");
+    let family = lookup("indefinite-rho09").unwrap();
     for &n in &[4usize, 8, 16, 32] {
-        let k = indefinite_correlation(n, 0.9);
+        let k = family.with_envelopes(n).covariance_matrix().unwrap();
         group.bench_with_input(BenchmarkId::new("zero_clip", n), &k, |b, k| {
             b.iter(|| force_positive_semidefinite(k).unwrap())
         });
@@ -24,8 +25,9 @@ fn bench_forcing_indefinite(c: &mut Criterion) {
 
 fn bench_forcing_psd_fast_path(c: &mut Criterion) {
     let mut group = c.benchmark_group("psd_forcing/already_psd");
+    let family = lookup("scaling-exp-rho07").unwrap();
     for &n in &[8usize, 32] {
-        let k = exponential_correlation(n, 0.7);
+        let k = family.with_envelopes(n).covariance_matrix().unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(n), &k, |b, k| {
             b.iter(|| force_positive_semidefinite(k).unwrap())
         });

@@ -1,22 +1,22 @@
 //! Bench: the statistical-validation pipeline of experiment E5 — sample
-//! covariance estimation and goodness-of-fit testing over generated
-//! ensembles. These dominate the wall-clock of the Monte-Carlo experiments,
-//! so their cost matters as much as the generator's.
+//! covariance estimation and goodness-of-fit testing over ensembles
+//! generated from the registered `fig4a-spectral` scenario. These dominate
+//! the wall-clock of the Monte-Carlo experiments, so their cost matters as
+//! much as the generator's.
 
-use corrfade::CorrelatedRayleighGenerator;
-use corrfade_models::paper_covariance_matrix_22;
+use corrfade_scenarios::lookup;
 use corrfade_stats::{ks_test, sample_covariance};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_sample_covariance(c: &mut Criterion) {
     let mut group = c.benchmark_group("validation/sample_covariance");
+    let scenario = lookup("fig4a-spectral").unwrap();
     for &snapshots in &[1_000usize, 10_000, 50_000] {
         group.bench_with_input(
             BenchmarkId::from_parameter(snapshots),
             &snapshots,
             |b, &snapshots| {
-                let mut gen =
-                    CorrelatedRayleighGenerator::new(paper_covariance_matrix_22(), 3).unwrap();
+                let mut gen = scenario.build(3).unwrap();
                 let snaps = gen.generate_snapshots(snapshots);
                 b.iter(|| sample_covariance(&snaps))
             },
@@ -27,10 +27,10 @@ fn bench_sample_covariance(c: &mut Criterion) {
 
 fn bench_ks_test(c: &mut Criterion) {
     let mut group = c.benchmark_group("validation/rayleigh_ks_test");
+    let scenario = lookup("fig4a-spectral").unwrap();
     for &n in &[1_000usize, 10_000, 100_000] {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let mut gen =
-                CorrelatedRayleighGenerator::new(paper_covariance_matrix_22(), 5).unwrap();
+            let mut gen = scenario.build(5).unwrap();
             let env: Vec<f64> = gen.generate_envelope_paths(n).remove(0);
             let sigma = corrfade_stats::rayleigh_scale(1.0);
             b.iter(|| ks_test(&env, |r| corrfade_specfun::rayleigh_cdf(r, sigma)))

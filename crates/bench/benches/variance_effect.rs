@@ -1,36 +1,33 @@
 //! Bench: the two real-time combinations compared by experiment E8 —
-//! variance-aware (proposed) vs unit-variance-assuming (ref. [6]) — at the
-//! same Doppler/IDFT settings, to show the correction costs nothing.
+//! variance-aware (proposed) vs unit-variance-assuming (ref. \[6\]) — on the
+//! registered `fig4a-spectral` scenario at the same Doppler/IDFT settings,
+//! to show the correction costs nothing.
 
-use corrfade::{RealtimeConfig, RealtimeGenerator};
+use corrfade::RealtimeGenerator;
 use corrfade_baselines::SorooshyariDautRealtimeGenerator;
-use corrfade_models::paper_covariance_matrix_22;
+use corrfade_scenarios::lookup;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 const M: usize = 2048;
-const FM: f64 = 0.05;
 
 fn bench_realtime_combinations(c: &mut Criterion) {
     let mut group = c.benchmark_group("variance_effect/block_m2048");
     group.throughput(Throughput::Elements((M * 3) as u64));
     group.sample_size(20);
+    let scenario = lookup("fig4a-spectral").unwrap();
 
     group.bench_function("proposed_variance_aware", |b| {
-        let mut gen = RealtimeGenerator::new(RealtimeConfig {
-            covariance: paper_covariance_matrix_22(),
-            idft_size: M,
-            normalized_doppler: FM,
-            sigma_orig_sq: 0.5,
-            seed: 1,
-        })
-        .unwrap();
+        let mut cfg = scenario.realtime_config(1).unwrap();
+        cfg.idft_size = M;
+        let mut gen = RealtimeGenerator::new(cfg).unwrap();
         b.iter(|| gen.generate_block())
     });
 
     group.bench_function("ref6_unit_variance_assumption", |b| {
-        let mut gen =
-            SorooshyariDautRealtimeGenerator::new(&paper_covariance_matrix_22(), M, FM, 0.5, 1)
-                .unwrap();
+        let k = scenario.covariance_matrix().unwrap();
+        let fm = scenario.doppler.normalized_doppler;
+        let sigma = scenario.doppler.sigma_orig_sq;
+        let mut gen = SorooshyariDautRealtimeGenerator::new(&k, M, fm, sigma, 1).unwrap();
         b.iter(|| gen.generate_block())
     });
     group.finish();

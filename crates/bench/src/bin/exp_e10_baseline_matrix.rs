@@ -2,35 +2,38 @@
 //! argues in prose: which conventional method can handle which scenario, and
 //! with what accuracy, compared with the proposed algorithm.
 //!
-//! Scenarios:
-//! * S1 — paper Eq. (23): real, PD, equal powers, N = 3 (spatial / MIMO),
-//! * S2 — paper Eq. (22): complex, PD, equal powers, N = 3 (spectral / OFDM),
-//! * S3 — N = 2, equal powers, complex correlation,
-//! * S4 — unequal powers, real correlation, N = 3,
-//! * S5 — indefinite (non-PSD) target, N = 3,
-//! * S6 — near-singular PD target, N = 4.
+//! Every scenario is resolved from the registry by name:
+//! * S1 — `fig4b-spatial`: real, PD, equal powers, N = 3 (paper Eq. 23),
+//! * S2 — `fig4a-spectral`: complex, PD, equal powers, N = 3 (paper Eq. 22),
+//! * S3 — `two-envelope-complex`: N = 2, equal powers, complex correlation,
+//! * S4 — `unequal-power-geometric`: unequal powers, real correlation,
+//! * S5 — `indefinite-rho09`: indefinite (non-PSD) target,
+//! * S6 — `near-singular-eps1e9`: near-singular PD target, N = 4.
 
 use corrfade::CorrelatedRayleighGenerator;
-use corrfade_baselines::{two_envelope_covariance, BaselineMethod};
+use corrfade_baselines::BaselineMethod;
 use corrfade_bench::report;
-use corrfade_bench::scenarios::{
-    indefinite_correlation, near_singular_correlation, unequal_power_exponential,
-};
-use corrfade_linalg::{c64, CMatrix};
-use corrfade_models::{paper_covariance_matrix_22, paper_covariance_matrix_23};
+use corrfade_linalg::CMatrix;
+use corrfade_scenarios::lookup;
 
-fn scenarios() -> Vec<(&'static str, CMatrix)> {
-    vec![
-        ("S1 spatial Eq.(23)", paper_covariance_matrix_23()),
-        ("S2 spectral Eq.(22)", paper_covariance_matrix_22()),
-        (
-            "S3 N=2 complex corr",
-            two_envelope_covariance(1.0, c64(0.5, 0.4)),
-        ),
-        ("S4 unequal powers", unequal_power_exponential(3, 0.6, 0.5)),
-        ("S5 non-PSD target", indefinite_correlation(3, 0.9)),
-        ("S6 near-singular", near_singular_correlation(4, 1e-9)),
+fn scenarios() -> Vec<(String, CMatrix)> {
+    [
+        ("S1", "fig4b-spatial"),
+        ("S2", "fig4a-spectral"),
+        ("S3", "two-envelope-complex"),
+        ("S4", "unequal-power-geometric"),
+        ("S5", "indefinite-rho09"),
+        ("S6", "near-singular-eps1e9"),
     ]
+    .into_iter()
+    .map(|(tag, name)| {
+        let k = lookup(name)
+            .expect("registered scenario")
+            .covariance_matrix()
+            .expect("valid scenario");
+        (format!("{tag} {name}"), k)
+    })
+    .collect()
 }
 
 fn main() {
@@ -38,11 +41,12 @@ fn main() {
 
     let mut header = vec!["scenario".to_string(), "proposed".to_string()];
     header.extend(BaselineMethod::ALL.iter().map(|m| m.name().to_string()));
-    let widths: Vec<usize> = header.iter().map(|h| h.len().max(10) + 2).collect();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len().max(10) + 2).collect();
+    widths[0] = 28;
     println!("{}", report::table_row(&header, &widths));
 
     for (name, k) in scenarios() {
-        let mut cells = vec![name.to_string()];
+        let mut cells = vec![name];
         // The proposed algorithm: always constructible; report whether the
         // target had to be PSD-forced.
         match CorrelatedRayleighGenerator::new(k.clone(), 0xE10) {

@@ -6,12 +6,12 @@
 //! τ₁,₃ = 4 ms.
 
 use corrfade_bench::{computed_spectral_covariance, report, reported_spectral_covariance};
-use corrfade_models::ChannelParams;
 
 fn main() {
     report::section("E1: spectral (OFDM) covariance matrix — paper Eq. (22)");
 
-    let params = ChannelParams::paper_defaults();
+    let scenario = corrfade_scenarios::lookup("fig4a-spectral").expect("registered scenario");
+    let params = scenario.channel;
     report::compare_scalar(
         "maximum Doppler frequency Fm [Hz]",
         50.0,

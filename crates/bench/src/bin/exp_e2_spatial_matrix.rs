@@ -10,6 +10,8 @@ use corrfade_bench::{computed_spatial_covariance, report, reported_spatial_covar
 fn main() {
     report::section("E2: spatial (MIMO) covariance matrix — paper Eq. (23)");
 
+    let scenario = corrfade_scenarios::lookup("fig4b-spatial").expect("registered scenario");
+    println!("scenario: {} — {}", scenario.name, scenario.title);
     let computed = computed_spatial_covariance();
     let reported = reported_spatial_covariance();
 

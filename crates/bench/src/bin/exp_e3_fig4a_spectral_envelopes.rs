@@ -8,12 +8,14 @@
 //! Rayleigh — are measured here and the 200-sample traces are dumped to CSV
 //! for plotting.
 
-use corrfade_bench::{fig4_envelope_traces, realtime_paths, report, reported_spectral_covariance};
+use corrfade_bench::{fig4_envelope_traces, realtime_paths, report};
 use corrfade_stats::{relative_frobenius_error, sample_covariance_from_paths};
 
 fn main() {
     report::section("E3: Fig. 4(a) — three spectrally-correlated envelopes (real-time mode)");
-    let k = reported_spectral_covariance();
+    let scenario = corrfade_scenarios::lookup("fig4a-spectral").expect("registered scenario");
+    println!("scenario: {} — {}", scenario.name, scenario.title);
+    let k = scenario.covariance_matrix().expect("valid scenario");
 
     // The 200-sample traces of Fig. 4(a) (dB around RMS), dumped for plotting.
     let traces = fig4_envelope_traces(k.clone(), 200, 0x4a);

@@ -7,12 +7,14 @@
 //! marginals, strong visual correlation between adjacent antennas) are
 //! measured.
 
-use corrfade_bench::{fig4_envelope_traces, realtime_paths, report, reported_spatial_covariance};
+use corrfade_bench::{fig4_envelope_traces, realtime_paths, report};
 use corrfade_stats::{pearson_correlation, relative_frobenius_error, sample_covariance_from_paths};
 
 fn main() {
     report::section("E4: Fig. 4(b) — three spatially-correlated envelopes (real-time mode)");
-    let k = reported_spatial_covariance();
+    let scenario = corrfade_scenarios::lookup("fig4b-spatial").expect("registered scenario");
+    println!("scenario: {} — {}", scenario.name, scenario.title);
+    let k = scenario.covariance_matrix().expect("valid scenario");
 
     let traces = fig4_envelope_traces(k.clone(), 200, 0x4b);
     let rows: Vec<Vec<f64>> = (0..200)

@@ -5,11 +5,12 @@
 //! * unequal-power support: starting from desired envelope powers `σ_r²`
 //!   through Eq. (11) the realized envelope variances equal `σ_r²`,
 //! * non-PSD targets are replaced by their closest PSD approximation.
+//!
+//! All three configurations are resolved from the scenario registry:
+//! `fig4a-spectral`, `unequal-power-spatial` and `indefinite-rho09`.
 
-use corrfade::{CorrelatedRayleighGenerator, GeneratorBuilder};
-use corrfade_bench::scenarios::indefinite_correlation;
-use corrfade_bench::{report, reported_spectral_covariance};
-use corrfade_models::paper_spatial_scenario;
+use corrfade_bench::report;
+use corrfade_scenarios::{lookup, PowerProfile};
 use corrfade_stats::{relative_frobenius_error, sample_covariance};
 
 const SNAPSHOTS: usize = 200_000;
@@ -18,8 +19,9 @@ fn main() {
     report::section("E5: statistical validation of Sec. 4.5 (single-instant mode)");
 
     // 1. Equal-power complex covariance (Eq. 22 target).
-    let k = reported_spectral_covariance();
-    let mut gen = CorrelatedRayleighGenerator::new(k.clone(), 0xE5).unwrap();
+    let spectral = lookup("fig4a-spectral").expect("registered scenario");
+    let k = spectral.covariance_matrix().expect("valid scenario");
+    let mut gen = spectral.build(0xE5).unwrap();
     let snaps = gen.generate_snapshots(SNAPSHOTS);
     let khat = sample_covariance(&snaps);
     report::compare_matrices("E[Z Z^H] vs Eq. (22) target", &k, &khat);
@@ -29,7 +31,7 @@ fn main() {
     );
 
     // Envelope moments, per envelope (sigma_g^2 = 1).
-    let mut gen = CorrelatedRayleighGenerator::new(k.clone(), 0xE51).unwrap();
+    let mut gen = spectral.build(0xE51).unwrap();
     let paths = gen.generate_envelope_paths(SNAPSHOTS);
     for (j, path) in paths.iter().enumerate() {
         let check = corrfade_stats::check_envelope_moments(path, 1.0);
@@ -60,13 +62,11 @@ fn main() {
 
     // 2. Unequal envelope powers specified through Eq. (11).
     report::section("E5b: unequal envelope powers (Eq. 11 path)");
-    let envelope_powers = [0.5, 2.0, 1.0];
-    let mut gen = GeneratorBuilder::new()
-        .spatial_scenario(paper_spatial_scenario(), 3)
-        .envelope_powers(&envelope_powers)
-        .seed(0xE52)
-        .build()
-        .unwrap();
+    let unequal = lookup("unequal-power-spatial").expect("registered scenario");
+    let PowerProfile::Envelope(envelope_powers) = unequal.powers else {
+        unreachable!("unequal-power-spatial declares envelope powers");
+    };
+    let mut gen = unequal.build(0xE52).unwrap();
     let paths = gen.generate_envelope_paths(SNAPSHOTS);
     for (j, path) in paths.iter().enumerate() {
         report::compare_scalar(
@@ -78,14 +78,17 @@ fn main() {
 
     // 3. Non-PSD target: realized covariance equals the forced PSD matrix.
     report::section("E5c: non-PSD target is replaced by its closest PSD approximation");
-    let bad = indefinite_correlation(4, 0.9);
-    let mut gen = CorrelatedRayleighGenerator::new(bad.clone(), 0xE53).unwrap();
+    let stress = lookup("indefinite-rho09")
+        .expect("registered scenario")
+        .with_envelopes(4);
+    let bad = stress.covariance_matrix().expect("valid scenario");
+    let mut gen = stress.build(0xE53).unwrap();
     let forced = gen.realized_covariance();
     let khat = sample_covariance(&gen.generate_snapshots(SNAPSHOTS));
     println!(
         "clipped eigenvalues: {} of {}",
         gen.coloring().psd.clipped_count,
-        4
+        stress.envelopes
     );
     report::measured_scalar(
         "rel. error of E[Z Z^H] vs forced PSD matrix",

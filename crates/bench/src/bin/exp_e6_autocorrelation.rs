@@ -3,27 +3,24 @@
 //! `J₀(2π·f_m·d)` (Eq. 16–21), while the cross-covariances still match the
 //! desired matrix.
 //!
-//! Sweeps the normalized Doppler frequency `f_m ∈ {0.01, 0.05, 0.1}` with the
-//! paper's `M = 4096`.
+//! The base configuration is the registered `fig4a-spectral` scenario; the
+//! sweep overrides its normalized Doppler frequency with
+//! `f_m ∈ {0.01, 0.05, 0.1}` at the paper's `M = 4096`.
 
-use corrfade::{RealtimeConfig, RealtimeGenerator};
-use corrfade_bench::{report, reported_spectral_covariance};
+use corrfade::RealtimeGenerator;
+use corrfade_bench::report;
 use corrfade_specfun::bessel_j0;
 use corrfade_stats::{max_autocorrelation_deviation, normalized_autocorrelation};
 
 fn main() {
     report::section("E6: Doppler autocorrelation of the real-time mode vs J0(2*pi*fm*d)");
-    let k = reported_spectral_covariance();
+    let scenario = corrfade_scenarios::lookup("fig4a-spectral").expect("registered scenario");
+    println!("scenario: {} — {}", scenario.name, scenario.title);
     let max_lag = 60usize;
 
     for &fm in &[0.01f64, 0.05, 0.1] {
-        let cfg = RealtimeConfig {
-            covariance: k.clone(),
-            idft_size: 4096,
-            normalized_doppler: fm,
-            sigma_orig_sq: 0.5,
-            seed: 0xE6,
-        };
+        let mut cfg = scenario.realtime_config(0xE6).expect("valid scenario");
+        cfg.normalized_doppler = fm;
         let mut gen = RealtimeGenerator::new(cfg).unwrap();
 
         // Average the per-envelope autocorrelation over several blocks.

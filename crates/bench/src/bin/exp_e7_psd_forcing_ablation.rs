@@ -2,19 +2,21 @@
 //!
 //! * the paper's zero-clipping (`λ̂ = max(λ, 0)`) + eigen coloring,
 //! * Sorooshyari–Daut's ε-replacement (`λ̂ = ε` for `λ ≤ 0`) + Cholesky
-//!   coloring (baseline [6]),
-//! * raw Cholesky with no forcing (baselines [4]/[5]).
+//!   coloring (baseline \[6\]),
+//! * raw Cholesky with no forcing (baselines \[4\]/\[5\]).
 //!
-//! Over a family of indefinite and near-singular covariance matrices we
-//! report (a) whether each method can produce a coloring at all, and (b) the
-//! Frobenius distance between the covariance it realizes and the desired
-//! matrix.
+//! The stress matrices come from the registered `indefinite-rho09` and
+//! `near-singular-eps1e{6,9,13}` scenarios (the indefinite family is swept
+//! over `N` with [`corrfade_scenarios::Scenario::with_envelopes`]). For each
+//! case we report (a) whether each method can produce a coloring at all, and
+//! (b) the Frobenius distance between the covariance it realizes and the
+//! desired matrix.
 
 use corrfade::{eigen_coloring, force_positive_semidefinite};
 use corrfade_baselines::epsilon_psd_forcing;
 use corrfade_bench::report;
-use corrfade_bench::scenarios::{indefinite_correlation, near_singular_correlation};
 use corrfade_linalg::{cholesky, CMatrix};
+use corrfade_scenarios::lookup;
 
 fn frobenius_realized_error(realized: &CMatrix, desired: &CMatrix) -> f64 {
     realized.frobenius_distance(desired) / desired.frobenius_norm()
@@ -69,16 +71,25 @@ fn main() {
         "E7: PSD-forcing ablation (zero-clipping vs epsilon-replacement vs raw Cholesky)",
     );
 
+    let indefinite = lookup("indefinite-rho09").expect("registered scenario");
     for n in [3usize, 4, 8, 16, 32] {
         run_case(
-            "indefinite correlation matrix, rho = 0.9",
-            &indefinite_correlation(n, 0.9),
+            "indefinite correlation matrix, rho = 0.9 (scenario indefinite-rho09)",
+            &indefinite
+                .with_envelopes(n)
+                .covariance_matrix()
+                .expect("valid scenario"),
         );
     }
-    for &eps in &[1e-6f64, 1e-10, 1e-13] {
+    for name in [
+        "near-singular-eps1e6",
+        "near-singular-eps1e9",
+        "near-singular-eps1e13",
+    ] {
+        let scenario = lookup(name).expect("registered scenario").with_envelopes(6);
         run_case(
-            &format!("near-singular PD matrix, min eigenvalue ~ {eps:.0e}"),
-            &near_singular_correlation(6, eps),
+            &format!("near-singular PD matrix (scenario {name})"),
+            &scenario.covariance_matrix().expect("valid scenario"),
         );
     }
 

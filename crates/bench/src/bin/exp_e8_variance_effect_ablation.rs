@@ -1,16 +1,17 @@
 //! Experiment E8 — the variance-changing effect of Doppler filters
 //! (paper Sec. 1 and Sec. 5):
 //!
-//! Ref. [6] combines its generator with the Young–Beaulieu Doppler model
+//! Ref. \[6\] combines its generator with the Young–Beaulieu Doppler model
 //! assuming the filtered sequences still have unit variance; in reality their
 //! variance is `σ_g² = 2·σ²_orig/M²·ΣF[k]²` (Eq. 19). The proposed algorithm
 //! feeds the true `σ_g²` into the coloring step. This experiment measures the
 //! covariance error of both combinations as a function of the normalized
-//! Doppler frequency.
+//! Doppler frequency, on the registered `fig4a-spectral` scenario with a
+//! shorter `M = 2048` block.
 
-use corrfade::{RealtimeConfig, RealtimeGenerator};
+use corrfade::RealtimeGenerator;
 use corrfade_baselines::SorooshyariDautRealtimeGenerator;
-use corrfade_bench::{report, reported_spectral_covariance};
+use corrfade_bench::report;
 use corrfade_linalg::Complex64;
 use corrfade_stats::{relative_frobenius_error, sample_covariance_from_paths};
 
@@ -20,7 +21,9 @@ const SIGMA_ORIG_SQ: f64 = 0.5;
 
 fn main() {
     report::section("E8: Doppler variance-effect ablation (proposed vs Sorooshyari-Daut [6])");
-    let k = reported_spectral_covariance();
+    let scenario = corrfade_scenarios::lookup("fig4a-spectral").expect("registered scenario");
+    println!("scenario: {} — {}", scenario.name, scenario.title);
+    let k = scenario.covariance_matrix().expect("valid scenario");
 
     println!(
         "{}",
@@ -38,14 +41,11 @@ fn main() {
     let mut rows = Vec::new();
     for &fm in &[0.01f64, 0.02, 0.05, 0.1, 0.2] {
         // Proposed algorithm (variance-aware).
-        let mut proposed = RealtimeGenerator::new(RealtimeConfig {
-            covariance: k.clone(),
-            idft_size: IDFT_SIZE,
-            normalized_doppler: fm,
-            sigma_orig_sq: SIGMA_ORIG_SQ,
-            seed: 0xE8,
-        })
-        .unwrap();
+        let mut cfg = scenario.realtime_config(0xE8).expect("valid scenario");
+        cfg.idft_size = IDFT_SIZE;
+        cfg.normalized_doppler = fm;
+        cfg.sigma_orig_sq = SIGMA_ORIG_SQ;
+        let mut proposed = RealtimeGenerator::new(cfg).unwrap();
         let block = proposed.generate_blocks(BLOCKS);
         let k_proposed = sample_covariance_from_paths(&block.gaussian_paths);
         let err_proposed = relative_frobenius_error(&k_proposed, &k);

@@ -5,19 +5,22 @@
 //! * generation throughput (snapshots/s) of the single-instant mode vs N,
 //! * parallel speedup of the Monte-Carlo engine vs worker count.
 //!
+//! The covariance family is the registered `scaling-exp-rho07` scenario,
+//! resized over `N` with [`corrfade_scenarios::Scenario::with_envelopes`].
 //! Criterion benches (`decomposition.rs`, `parallel_throughput.rs`) measure
 //! the same paths with proper statistics; this binary prints a quick
 //! wall-clock summary table for EXPERIMENTS.md.
 
 use std::time::Instant;
 
-use corrfade::{cholesky_coloring, eigen_coloring, CorrelatedRayleighGenerator};
+use corrfade::{cholesky_coloring, eigen_coloring};
 use corrfade_bench::report;
-use corrfade_bench::scenarios::exponential_correlation;
 use corrfade_parallel::{monte_carlo_covariance, ParallelConfig};
 
 fn main() {
     report::section("E9: scaling of decomposition, generation and parallel Monte-Carlo");
+    let family = corrfade_scenarios::lookup("scaling-exp-rho07").expect("registered scenario");
+    println!("scenario family: {} — {}", family.name, family.title);
 
     println!(
         "{}",
@@ -33,7 +36,8 @@ fn main() {
     );
     let mut rows = Vec::new();
     for &n in &[2usize, 4, 8, 16, 32, 64] {
-        let k = exponential_correlation(n, 0.7);
+        let scenario = family.with_envelopes(n);
+        let k = scenario.covariance_matrix().expect("valid scenario");
 
         let reps = 20;
         let t0 = Instant::now();
@@ -48,7 +52,7 @@ fn main() {
         }
         let chol_us = t0.elapsed().as_secs_f64() * 1e6 / reps as f64;
 
-        let mut gen = CorrelatedRayleighGenerator::new(k.clone(), 0xE9).unwrap();
+        let mut gen = scenario.build(0xE9).unwrap();
         let samples = 200_000usize;
         let t0 = Instant::now();
         let mut sink = 0.0f64;
@@ -87,7 +91,10 @@ fn main() {
             &[8, 16, 10]
         )
     );
-    let k = exponential_correlation(16, 0.7);
+    let k = family
+        .with_envelopes(16)
+        .covariance_matrix()
+        .expect("valid scenario");
     let total = 400_000;
     let mut baseline_ms = 0.0;
     let mut rows = Vec::new();

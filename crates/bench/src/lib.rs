@@ -1,7 +1,10 @@
 //! # corrfade-bench
 //!
-//! Shared scenario definitions and reporting helpers for the experiment
-//! binaries (`src/bin/exp_e*.rs`) and the Criterion benchmarks (`benches/`).
+//! Reporting helpers and paper reference data for the experiment binaries
+//! (`src/bin/exp_e*.rs`) and the Criterion benchmarks (`benches/`). Channel
+//! configurations are resolved by name from the declarative registry in
+//! [`corrfade_scenarios`]; this crate only adds the paper-reported reference
+//! matrices and the measurement plumbing around them.
 //!
 //! Every experiment of DESIGN.md §4 has a binary that prints the
 //! paper-reported values next to the values measured from this
@@ -12,10 +15,7 @@
 
 use corrfade::{RealtimeConfig, RealtimeGenerator};
 use corrfade_linalg::{CMatrix, Complex64};
-use corrfade_models::{
-    paper_covariance_matrix_22, paper_covariance_matrix_23, paper_spatial_scenario,
-    paper_spectral_scenario,
-};
+use corrfade_models::{paper_covariance_matrix_22, paper_covariance_matrix_23};
 
 pub mod report;
 pub mod scenarios;
@@ -27,19 +27,20 @@ pub fn paper_realtime_config(covariance: CMatrix, seed: u64) -> RealtimeConfig {
 }
 
 /// Builds the paper's spectral-scenario covariance matrix (should equal
-/// Eq. 22) from the Jakes model.
+/// Eq. 22) by resolving the registered `fig4a-spectral` scenario.
 pub fn computed_spectral_covariance() -> CMatrix {
-    let (model, freqs, delays) = paper_spectral_scenario();
-    model
-        .covariance_matrix(&freqs, &delays)
+    corrfade_scenarios::lookup("fig4a-spectral")
+        .expect("paper scenario is registered")
+        .covariance_matrix()
         .expect("paper scenario is well-formed")
 }
 
 /// Builds the paper's spatial-scenario covariance matrix (should equal
-/// Eq. 23) from the Salz–Winters model.
+/// Eq. 23) by resolving the registered `fig4b-spatial` scenario.
 pub fn computed_spatial_covariance() -> CMatrix {
-    paper_spatial_scenario()
-        .covariance_matrix(3)
+    corrfade_scenarios::lookup("fig4b-spatial")
+        .expect("paper scenario is registered")
+        .covariance_matrix()
         .expect("paper scenario is well-formed")
 }
 

@@ -1,11 +1,29 @@
 //! Fluent builder for the generators.
 //!
-//! The builder ties together the three ways of specifying the desired
-//! correlation structure (an explicit covariance matrix, the Jakes spectral
-//! model, or the Salz–Winters spatial model) with the two ways of specifying
-//! the per-envelope powers (Gaussian `σ_g²` or envelope `σ_r²`, Eq. 11), and
-//! produces either the single-instant generator (Sec. 4.4) or the real-time
-//! Doppler generator (Sec. 5).
+//! The [`GeneratorBuilder`] ties together the three ways of specifying the
+//! desired correlation structure — an explicit covariance matrix
+//! ([`GeneratorBuilder::covariance`]), the Jakes spectral model
+//! ([`GeneratorBuilder::spectral_scenario`], paper Eq. 3–4) or the
+//! Salz–Winters spatial model ([`GeneratorBuilder::spatial_scenario`],
+//! Eq. 5–7) — with the two ways of specifying the per-envelope powers
+//! (Gaussian `σ_g²` via [`GeneratorBuilder::gaussian_powers`] or envelope
+//! `σ_r²` via [`GeneratorBuilder::envelope_powers`], converted through
+//! Eq. 11 by [`PowerSpec`]), and produces either the single-instant
+//! generator ([`CorrelatedRayleighGenerator`], Sec. 4.4) or the real-time
+//! Doppler generator ([`RealtimeGenerator`], Sec. 5).
+//!
+//! Misconfiguration is reported as a typed [`CorrfadeError`]
+//! ([`CorrfadeError::MissingCovariance`],
+//! [`CorrfadeError::PowerDimensionMismatch`], …) rather than a panic.
+//!
+//! The named entries of the `corrfade-scenarios` registry bridge into this
+//! builder: `Scenario::to_builder()` returns a `GeneratorBuilder` with the
+//! covariance source and power profile pre-configured, so experiments can
+//! resolve a catalog name and still customize everything below it.
+//!
+//! # Examples
+//!
+//! Build from a correlation model (the paper's spectral scenario):
 //!
 //! ```
 //! use corrfade::GeneratorBuilder;
@@ -19,6 +37,35 @@
 //!     .unwrap();
 //! let sample = gen.sample();
 //! assert_eq!(sample.envelopes.len(), 3);
+//! ```
+//!
+//! Override the powers of a model-derived covariance (the correlation
+//! structure is kept, the diagonal is rescaled):
+//!
+//! ```
+//! use corrfade::GeneratorBuilder;
+//! use corrfade_models::paper_spatial_scenario;
+//!
+//! let gen = GeneratorBuilder::new()
+//!     .spatial_scenario(paper_spatial_scenario(), 3)
+//!     .gaussian_powers(&[2.0, 0.5, 1.0])
+//!     .seed(7)
+//!     .build()
+//!     .unwrap();
+//! let k = gen.desired_covariance();
+//! assert!((k[(0, 0)].re - 2.0).abs() < 1e-12);
+//! assert!((k[(1, 1)].re - 0.5).abs() < 1e-12);
+//! ```
+//!
+//! Builder misuse is a typed error:
+//!
+//! ```
+//! use corrfade::{CorrfadeError, GeneratorBuilder};
+//!
+//! assert!(matches!(
+//!     GeneratorBuilder::new().build(),
+//!     Err(CorrfadeError::MissingCovariance)
+//! ));
 //! ```
 
 use corrfade_linalg::CMatrix;

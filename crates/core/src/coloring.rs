@@ -60,7 +60,7 @@ pub fn eigen_coloring(k: &CMatrix) -> Result<Coloring, CorrfadeError> {
 }
 
 /// Computes a lower-triangular Cholesky coloring matrix, the construction
-/// used by the conventional methods (refs [3]–[6]).
+/// used by the conventional methods (refs \[3\]–\[6\]).
 ///
 /// # Errors
 /// Fails with [`CorrfadeError::Linalg`] whenever `K` is not positive

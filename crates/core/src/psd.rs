@@ -12,7 +12,7 @@
 //!
 //! `K̄` is the closest positive semi-definite matrix to `K` in the Frobenius
 //! norm, so this clipping is strictly more precise than the ε-replacement of
-//! Sorooshyari & Daut (paper ref. [6], reproduced in `corrfade-baselines`
+//! Sorooshyari & Daut (paper ref. \[6\], reproduced in `corrfade-baselines`
 //! for the E7 ablation).
 
 use corrfade_linalg::{hermitian_eigen, CMatrix, HermitianEigen};

@@ -6,7 +6,7 @@
 //! process is band-limited by the Doppler spread, so its samples are
 //! correlated in time with autocorrelation `J₀(2π·f_m·d)`. The paper obtains
 //! both properties at once by stacking `N` Young–Beaulieu IDFT generators
-//! (one per envelope, paper ref. [7]) and coloring their outputs at every
+//! (one per envelope, paper ref. \[7\]) and coloring their outputs at every
 //! time instant with the eigendecomposition coloring matrix:
 //!
 //! 1. design the Doppler filter `F[k]` (Eq. 21) for the chosen `M` and `f_m`,
@@ -18,7 +18,7 @@
 //!
 //! Feeding the *true* `σ_g²` of step 2 into step 3 — rather than assuming the
 //! filter leaves the variance at 1 — is the correction over Sorooshyari–Daut
-//! (ref. [6]) that makes the realized covariance equal the desired one. The
+//! (ref. \[6\]) that makes the realized covariance equal the desired one. The
 //! flawed variant is reproduced in `corrfade-baselines` for the E8 ablation.
 
 use corrfade_dsp::{DopplerFilter, IdftRayleighGenerator};

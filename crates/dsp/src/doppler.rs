@@ -1,5 +1,5 @@
 //! Doppler filter design and the Young–Beaulieu IDFT Rayleigh generator
-//! (paper ref. [7], Fig. 2), the substrate of the real-time algorithm of
+//! (paper ref. \[7\], Fig. 2), the substrate of the real-time algorithm of
 //! Sec. 5.
 //!
 //! The generator produces one baseband Rayleigh-fading sequence whose

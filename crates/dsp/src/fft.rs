@@ -1,6 +1,6 @@
 //! Discrete Fourier transforms.
 //!
-//! The Young–Beaulieu Rayleigh generator (paper ref. [7], used by the
+//! The Young–Beaulieu Rayleigh generator (paper ref. \[7\], used by the
 //! real-time algorithm of Sec. 5) produces each fading sequence as an
 //! `M`-point **inverse** DFT of Doppler-filtered complex Gaussian spectra,
 //! with `M = 4096` in the paper's experiments. A radix-2 iterative

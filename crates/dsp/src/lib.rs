@@ -2,11 +2,11 @@
 //!
 //! Signal-processing substrate of the `corrfade` workspace:
 //!
-//! * [`fft`] — radix-2 and Bluestein forward/inverse DFTs (the paper's
+//! * [`mod@fft`] — radix-2 and Bluestein forward/inverse DFTs (the paper's
 //!   real-time generator is built around an `M = 4096`-point IDFT),
 //! * [`doppler`] — Young's Doppler filter (paper Eq. 21), its output-variance
 //!   formula (Eq. 19) and the Young–Beaulieu IDFT Rayleigh generator
-//!   (paper ref. [7], Fig. 2) that the proposed algorithm stacks `N` of in
+//!   (paper ref. \[7\], Fig. 2) that the proposed algorithm stacks `N` of in
 //!   its real-time mode (Fig. 3).
 
 #![warn(missing_docs)]

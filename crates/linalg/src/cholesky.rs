@@ -1,7 +1,7 @@
 //! Cholesky factorization `A = L·Lᴴ` of Hermitian positive-definite matrices.
 //!
 //! The conventional correlated-Rayleigh generators reviewed in Sec. 1 of the
-//! paper (refs [3]–[6]) all obtain their coloring matrix from a Cholesky
+//! paper (refs \[3\]–\[6\]) all obtain their coloring matrix from a Cholesky
 //! factorization, which is exactly why they require the covariance matrix to
 //! be positive **definite** and why they trip over round-off for matrices
 //! with eigenvalues at or near zero. We implement the factorization here so

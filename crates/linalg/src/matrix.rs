@@ -405,7 +405,7 @@ impl CMatrix {
     /// Builds the `2N × 2N` real-symmetric embedding
     /// `[[Re(A), −Im(A)], [Im(A), Re(A)]]` of an `N × N` Hermitian matrix.
     ///
-    /// This is the representation used by Salz & Winters (paper ref. [1]) to
+    /// This is the representation used by Salz & Winters (paper ref. \[1\]) to
     /// color `2N` real Gaussian variables, and it is also a convenient path
     /// to the eigendecomposition: the embedding is symmetric iff `A` is
     /// Hermitian.

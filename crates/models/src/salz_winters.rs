@@ -1,5 +1,5 @@
 //! Spatial fading correlation across a uniform linear antenna array after
-//! Salz & Winters (paper Sec. 3, Eq. 5–7; paper ref. [1]).
+//! Salz & Winters (paper Sec. 3, Eq. 5–7; paper ref. \[1\]).
 //!
 //! All scatterers seen from a given receiver arrive within an angular spread
 //! `±Δ` around a mean angle-of-arrival `Φ`. For transmit antennas `k` and `j`

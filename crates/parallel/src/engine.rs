@@ -6,7 +6,7 @@
 //!
 //! 1. computes the eigen-coloring once on the calling thread,
 //! 2. splits the requested ensemble into fixed-size chunks
-//!    ([`crate::partition`]), each with its own deterministic RNG seed,
+//!    ([`crate::partition()`]), each with its own deterministic RNG seed,
 //! 3. lets a `std::thread::scope` worker pool pull chunks from a shared
 //!    atomic counter, generate them independently, and either store the
 //!    snapshots or fold them into per-thread covariance accumulators,

@@ -7,7 +7,7 @@
 //! every generator in the workspace (step 6 of the paper's algorithm).
 //!
 //! The paper also stresses the *general* case where the per-dimension
-//! variances differ (`σ_gx² ≠ σ_gy²`, Sec. 4.1); [`ComplexGaussian::split`]
+//! variances differ (`σ_gx² ≠ σ_gy²`, Sec. 4.1); [`ComplexGaussian::sample_split`]
 //! covers it so the test-suite can exercise that corner too.
 
 use corrfade_linalg::{c64, Complex64};

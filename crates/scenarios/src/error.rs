@@ -1,0 +1,111 @@
+//! Error type of the scenario registry.
+
+use core::fmt;
+
+use corrfade::CorrfadeError;
+
+/// Errors produced while resolving scenarios from the registry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// No scenario with the requested name is registered.
+    UnknownScenario {
+        /// The name that was looked up.
+        name: String,
+        /// The closest registered name, when one resembles the request.
+        suggestion: Option<&'static str>,
+    },
+    /// [`Scenario::with_envelopes`](crate::Scenario::with_envelopes) was
+    /// used on a scenario whose covariance family has a fixed envelope
+    /// count (`Spectral`, `TwoEnvelopeComplex`, `Explicit`).
+    DimensionMismatch {
+        /// Name of the offending scenario.
+        name: &'static str,
+        /// The envelope count requested via `with_envelopes`.
+        requested: usize,
+        /// The envelope count the covariance family natively describes.
+        native: usize,
+    },
+    /// An error bubbled up from the generator stack while building the
+    /// configured scenario.
+    Core(CorrfadeError),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::UnknownScenario { name, suggestion } => {
+                write!(f, "unknown scenario `{name}`")?;
+                if let Some(s) = suggestion {
+                    write!(f, " (did you mean `{s}`?)")?;
+                }
+                write!(f, "; see corrfade_scenarios::names() for the full catalog")
+            }
+            ScenarioError::DimensionMismatch {
+                name,
+                requested,
+                native,
+            } => write!(
+                f,
+                "scenario `{name}` cannot be resized to {requested} envelopes: its covariance \
+                 family has a fixed dimension of {native}"
+            ),
+            ScenarioError::Core(e) => write!(f, "scenario failed to build: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScenarioError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CorrfadeError> for ScenarioError {
+    fn from(e: CorrfadeError) -> Self {
+        ScenarioError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_name_and_suggestion() {
+        let e = ScenarioError::UnknownScenario {
+            name: "fig4a-spektral".into(),
+            suggestion: Some("fig4a-spectral"),
+        };
+        let s = e.to_string();
+        assert!(s.contains("fig4a-spektral"));
+        assert!(s.contains("did you mean `fig4a-spectral`"));
+
+        let e = ScenarioError::UnknownScenario {
+            name: "nope".into(),
+            suggestion: None,
+        };
+        assert!(!e.to_string().contains("did you mean"));
+    }
+
+    #[test]
+    fn dimension_mismatch_names_both_sizes() {
+        let e = ScenarioError::DimensionMismatch {
+            name: "fig4a-spectral",
+            requested: 8,
+            native: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("fig4a-spectral") && s.contains('8') && s.contains('3'));
+    }
+
+    #[test]
+    fn core_errors_preserve_the_source() {
+        use std::error::Error;
+        let e: ScenarioError = CorrfadeError::MissingCovariance.into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("no covariance source"));
+    }
+}

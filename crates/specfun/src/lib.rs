@@ -6,9 +6,9 @@
 //!   ([`bessel`]) — the spectral covariance of Eq. (3), the spatial
 //!   covariance series of Eq. (5)–(6) and the Doppler autocorrelation
 //!   target `J₀(2π·fm·d)` of Eq. (20) of the paper,
-//! * gamma / incomplete-gamma functions ([`gamma`]) — chi-square
+//! * gamma / incomplete-gamma functions ([`mod@gamma`]) — chi-square
 //!   goodness-of-fit p-values used to validate the generated envelopes,
-//! * error function and the normal / Rayleigh CDFs ([`erf`]) —
+//! * error function and the normal / Rayleigh CDFs ([`mod@erf`]) —
 //!   Kolmogorov–Smirnov tests on the marginals.
 //!
 //! Everything is implemented from scratch (series, asymptotic expansions,

@@ -12,7 +12,7 @@ use corrfade_linalg::Complex64;
 ///
 /// The biased (divide-by-`L`) estimator is used because it guarantees a
 /// positive semi-definite correlation sequence, matching the convention of
-/// ref. [7].
+/// ref. \[7\].
 ///
 /// # Panics
 /// Panics if `data` is empty or `max_lag >= data.len()`.

@@ -2,7 +2,7 @@
 //! fade duration (AFD).
 //!
 //! These are the standard figures of merit used to judge whether a fading
-//! simulator reproduces realistic temporal behaviour (Rappaport, ref. [9] of
+//! simulator reproduces realistic temporal behaviour (Rappaport, ref. \[9\] of
 //! the paper). For a Rayleigh process with maximum Doppler frequency `f_m`
 //! and normalized threshold `ρ = R/R_rms`:
 //!

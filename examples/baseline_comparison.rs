@@ -1,19 +1,18 @@
 //! Side-by-side comparison of the proposed algorithm with the conventional
 //! methods it generalizes (the paper's references [1]–[6]).
 //!
-//! For a set of scenarios of increasing difficulty, every method is asked to
-//! generate 50 000 snapshots; the table reports whether it could run at all
-//! and, if so, the relative Frobenius error between the achieved and the
-//! desired covariance.
+//! For a set of registered scenarios of increasing difficulty, every method
+//! is asked to generate 50 000 snapshots; the table reports whether it could
+//! run at all and, if so, the relative Frobenius error between the achieved
+//! and the desired covariance.
 //!
 //! Run with: `cargo run --release --example baseline_comparison`
 
-use corrfade::CorrelatedRayleighGenerator;
 use corrfade_baselines::{
     BeaulieuMeraniGenerator, NatarajanGenerator, SalzWintersGenerator, SorooshyariDautGenerator,
 };
-use corrfade_linalg::{c64, CMatrix};
-use corrfade_models::{paper_covariance_matrix_22, paper_covariance_matrix_23};
+use corrfade_linalg::CMatrix;
+use corrfade_scenarios::lookup;
 use corrfade_stats::{relative_frobenius_error, sample_covariance};
 
 const SNAPSHOTS: usize = 50_000;
@@ -32,26 +31,15 @@ where
 }
 
 fn main() {
-    let unequal = CMatrix::from_rows(&[
-        vec![c64(2.0, 0.0), c64(0.6, 0.2), c64(0.1, 0.0)],
-        vec![c64(0.6, -0.2), c64(1.0, 0.0), c64(0.3, -0.1)],
-        vec![c64(0.1, 0.0), c64(0.3, 0.1), c64(0.5, 0.0)],
-    ]);
-    let indefinite = CMatrix::from_rows(&[
-        vec![c64(1.0, 0.0), c64(0.9, 0.0), c64(-0.9, 0.0)],
-        vec![c64(0.9, 0.0), c64(1.0, 0.0), c64(0.9, 0.0)],
-        vec![c64(-0.9, 0.0), c64(0.9, 0.0), c64(1.0, 0.0)],
-    ]);
-
-    let scenarios: Vec<(&str, CMatrix)> = vec![
-        ("spatial Eq.(23)", paper_covariance_matrix_23()),
-        ("spectral Eq.(22)", paper_covariance_matrix_22()),
-        ("unequal powers", unequal),
-        ("non-PSD target", indefinite),
+    let scenario_names = [
+        "fig4b-spatial",
+        "fig4a-spectral",
+        "baseline-unequal",
+        "indefinite-rho09",
     ];
 
     println!(
-        "{:<18} {:<14} {:<16} {:<18} {:<14} {:<18}",
+        "{:<22} {:<14} {:<16} {:<18} {:<14} {:<18}",
         "scenario",
         "proposed",
         "Salz-Winters[1]",
@@ -63,10 +51,13 @@ fn main() {
         "(numbers are relative Frobenius errors of the achieved covariance; text = failure reason)"
     );
 
-    for (name, k) in scenarios {
+    for name in scenario_names {
+        let scenario = lookup(name).expect("registered scenario");
+        let k = scenario.covariance_matrix().expect("valid scenario");
         let proposed = err_or_fail(
             || {
-                CorrelatedRayleighGenerator::new(k.clone(), 1)
+                scenario
+                    .build(1)
                     .map(|mut g| g.generate_snapshots(SNAPSHOTS))
                     .map_err(|e| format!("fail: {e}"))
             },
@@ -105,7 +96,7 @@ fn main() {
             &k,
         );
 
-        println!("{name:<18} {proposed:<14} {sw:<16} {bm:<18} {nat:<14} {sd:<18}");
+        println!("{name:<22} {proposed:<14} {sw:<16} {bm:<18} {nat:<14} {sd:<18}");
     }
 
     println!();

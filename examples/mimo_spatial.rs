@@ -1,44 +1,54 @@
 //! MIMO antenna-array spatially-correlated fading: the paper's second
 //! experiment (Sec. 6, covariance Eq. 23, Fig. 4b).
 //!
-//! A uniform linear array of transmit antennas spaced one wavelength apart,
-//! with all scatter arriving within ±10° of broadside, produces strongly
-//! correlated fades on adjacent antennas. This example sweeps the antenna
-//! spacing and the angular spread to show how the correlation (and hence the
-//! achievable diversity) changes, then generates the paper's exact scenario.
+//! A uniform linear array of transmit antennas produces correlated fades
+//! whose strength depends on the spacing and the angular spread of the
+//! arriving scatter. This example walks the registered spatial scenarios to
+//! show how the geometry changes the correlation (and hence the achievable
+//! diversity), then generates the paper's exact scenario.
 //!
 //! Run with: `cargo run --release --example mimo_spatial`
 
-use corrfade::GeneratorBuilder;
-use corrfade_models::SalzWintersSpatialModel;
+use corrfade_scenarios::{iter, lookup, CovarianceSpec};
 use corrfade_stats::{relative_frobenius_error, sample_covariance};
 
 fn main() {
-    // How does adjacent-antenna correlation depend on spacing and spread?
-    println!("adjacent-antenna correlation |K[1,2]| as a function of geometry:");
+    // How does adjacent-antenna correlation depend on geometry? Compare the
+    // registered spatial scenarios.
+    println!("adjacent-antenna correlation |K[1,2]| across the registered spatial scenarios:");
     println!(
-        "{:>12} {:>12} {:>14}",
-        "D/lambda", "spread [deg]", "|correlation|"
+        "{:<22} {:>10} {:>12} {:>12} {:>14}",
+        "scenario", "D/lambda", "Phi [deg]", "spread [deg]", "|correlation|"
     );
-    for &spacing in &[0.25f64, 0.5, 1.0, 2.0] {
-        for &spread_deg in &[2.0f64, 10.0, 30.0, 90.0] {
-            let model = SalzWintersSpatialModel::new(1.0, spacing, 0.0, spread_deg.to_radians());
-            let c = model.complex_covariance(0, 1).abs();
-            println!("{spacing:>12.2} {spread_deg:>12.1} {c:>14.4}");
-        }
+    for scenario in iter() {
+        let CovarianceSpec::Spatial {
+            spacing_wavelengths,
+            mean_arrival_rad,
+            angular_spread_rad,
+        } = scenario.covariance
+        else {
+            continue;
+        };
+        let k = scenario.covariance_matrix().expect("valid scenario");
+        let corr = k[(0, 1)].abs() / (k[(0, 0)].re * k[(1, 1)].re).sqrt();
+        println!(
+            "{:<22} {:>10.2} {:>12.1} {:>12.1} {:>14.4}",
+            scenario.name,
+            spacing_wavelengths,
+            mean_arrival_rad.to_degrees(),
+            angular_spread_rad.to_degrees(),
+            corr
+        );
     }
 
     // The paper's exact scenario: D/lambda = 1, spread 10 degrees, broadside.
-    let paper_model = SalzWintersSpatialModel::new(1.0, 1.0, 0.0, std::f64::consts::PI / 18.0);
-    let builder = GeneratorBuilder::new()
-        .spatial_scenario(paper_model, 3)
-        .seed(0x313D);
-    let k = builder.resolve_covariance().expect("valid scenario");
+    let paper = lookup("fig4b-spatial").expect("registered scenario");
+    let k = paper.covariance_matrix().expect("valid scenario");
     println!();
     println!("desired covariance matrix (paper Eq. 23):\n{k:.4}");
 
     // Single-instant mode: 100k snapshots, check E[Z Z^H] = K.
-    let mut gen = builder.build().expect("valid configuration");
+    let mut gen = paper.build(0x313D).expect("valid configuration");
     let snaps = gen.generate_snapshots(100_000);
     let khat = sample_covariance(&snaps);
     println!("achieved covariance (100k snapshots):\n{khat:.4}");
@@ -48,14 +58,7 @@ fn main() {
     );
 
     // Envelope statistics per antenna (all powers are 1).
-    let mut gen = GeneratorBuilder::new()
-        .spatial_scenario(
-            SalzWintersSpatialModel::new(1.0, 1.0, 0.0, std::f64::consts::PI / 18.0),
-            3,
-        )
-        .seed(0x313E)
-        .build()
-        .expect("valid configuration");
+    let mut gen = paper.build(0x313E).expect("valid configuration");
     let paths = gen.generate_envelope_paths(100_000);
     println!();
     for (j, p) in paths.iter().enumerate() {
@@ -72,8 +75,11 @@ fn main() {
 
     // Off-broadside arrival produces complex covariances — the general case
     // the algorithm supports and several conventional methods do not.
-    let tilted = SalzWintersSpatialModel::new(1.0, 0.5, std::f64::consts::FRAC_PI_4, 0.3);
-    let k_tilted = tilted.covariance_matrix(3).expect("valid scenario");
+    let tilted = lookup("mimo-offbroadside").expect("registered scenario");
+    let k_tilted = tilted.covariance_matrix().expect("valid scenario");
     println!();
-    println!("off-broadside (Phi = 45 deg) covariance is complex:\n{k_tilted:.4}");
+    println!(
+        "off-broadside ({}) covariance is complex:\n{k_tilted:.4}",
+        tilted.title
+    );
 }

@@ -1,21 +1,25 @@
 //! OFDM-style spectrally-correlated fading: the paper's first experiment
-//! (Sec. 6, covariance Eq. 22, Fig. 4a).
+//! (Sec. 6, covariance Eq. 22, Fig. 4a), resolved from the registry as the
+//! `fig4a-spectral` scenario.
 //!
 //! Three sub-carriers 200 kHz apart observed through a GSM-900 channel
 //! (Fm = 50 Hz, σ_τ = 1 µs) with arrival delays of 1/3/4 ms produce
-//! frequency-correlated Rayleigh fading. This example builds the covariance
-//! from the physical parameters, generates the envelopes in real-time
-//! (Doppler) mode and prints the achieved statistics.
+//! frequency-correlated Rayleigh fading. This example resolves the scenario
+//! by name, generates the envelopes in real-time (Doppler) mode and prints
+//! the achieved statistics.
 //!
 //! Run with: `cargo run --release --example ofdm_spectral`
 
-use corrfade::GeneratorBuilder;
-use corrfade_models::{pairwise_delays_from_arrival_times, ChannelParams, JakesSpectralModel};
+use corrfade_scenarios::lookup;
 use corrfade_stats::{relative_frobenius_error, sample_covariance_from_paths};
 
 fn main() {
-    // Physical scenario: GSM 900, 60 km/h, 1 kHz sampling, 1 µs delay spread.
-    let channel = ChannelParams::paper_defaults();
+    let scenario = lookup("fig4a-spectral").expect("registered scenario");
+    println!("scenario: {} — {}", scenario.name, scenario.title);
+
+    // The physical channel behind the scenario: GSM 900, 60 km/h, 1 kHz
+    // sampling, 1 µs delay spread.
+    let channel = scenario.channel;
     println!(
         "maximum Doppler frequency: {:.1} Hz",
         channel.max_doppler_hz()
@@ -25,22 +29,14 @@ fn main() {
         channel.normalized_doppler()
     );
 
-    // Three carriers, 200 kHz apart, with arrival times 0 / 1 / 4 ms.
-    let model = JakesSpectralModel::new(1.0, channel.max_doppler_hz(), channel.rms_delay_spread_s);
-    let frequencies = vec![400e3, 200e3, 0.0];
-    let delays = pairwise_delays_from_arrival_times(&[0.0, 1e-3, 4e-3]);
-
-    let builder = GeneratorBuilder::new()
-        .spectral_scenario(model, frequencies, delays)
-        .seed(0x0FD);
-    let k = builder.resolve_covariance().expect("valid scenario");
+    let k = scenario.covariance_matrix().expect("valid scenario");
     println!();
     println!("desired covariance matrix (paper Eq. 22):\n{k:.4}");
 
-    // Real-time mode with the paper's parameters: M = 4096, fm = 0.05,
+    // Real-time mode with the scenario's settings: M = 4096, fm = 0.05,
     // sigma_orig^2 = 0.5.
-    let mut gen = builder
-        .build_realtime(4096, channel.normalized_doppler(), 0.5)
+    let mut gen = scenario
+        .build_realtime(0x0FD)
         .expect("valid real-time configuration");
     println!(
         "Doppler filter: M = {}, km = {}, output variance (Eq. 19) = {:.4}",
@@ -70,6 +66,7 @@ fn main() {
     }
 
     // Fading metrics of the first envelope.
+    let fm = scenario.doppler.normalized_doppler;
     let env = &block.envelope_paths[0];
     let rms = corrfade_stats::envelope_rms(env);
     let rho = 0.5f64;
@@ -80,11 +77,11 @@ fn main() {
     println!(
         "  level crossing rate: {:.5} per sample (theory {:.5})",
         lcr,
-        corrfade_stats::theoretical_lcr(rho, channel.normalized_doppler())
+        corrfade_stats::theoretical_lcr(rho, fm)
     );
     println!(
         "  average fade duration: {:.2} samples (theory {:.2})",
         afd,
-        corrfade_stats::theoretical_afd(rho, channel.normalized_doppler())
+        corrfade_stats::theoretical_afd(rho, fm)
     );
 }

@@ -1,27 +1,24 @@
-//! Quickstart: generate three correlated Rayleigh fading envelopes from an
-//! explicit covariance matrix and check their statistics.
+//! Quickstart: generate three correlated Rayleigh fading envelopes from a
+//! named scenario in the registry and check their statistics.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use corrfade::{CorrelatedRayleighGenerator, GeneratorBuilder};
-use corrfade_linalg::{c64, CMatrix};
+use corrfade_scenarios::lookup;
 use corrfade_stats::{relative_frobenius_error, sample_covariance};
 
 fn main() {
     println!("corrfade quickstart (v{})", corrfade_suite::VERSION);
     println!();
 
-    // 1. Specify the desired covariance matrix K of the complex Gaussian
-    //    processes. The diagonal holds the per-envelope powers σ_g²; the
-    //    off-diagonal entries may be complex.
-    let k = CMatrix::from_rows(&[
-        vec![c64(1.0, 0.0), c64(0.55, 0.25), c64(0.10, 0.05)],
-        vec![c64(0.55, -0.25), c64(1.0, 0.0), c64(0.45, 0.15)],
-        vec![c64(0.10, -0.05), c64(0.45, -0.15), c64(1.0, 0.0)],
-    ]);
+    // 1. Pick a scenario from the registry by name. `quickstart-demo` is a
+    //    small, well-behaved 3x3 complex covariance; run
+    //    `corrfade_scenarios::names()` for the full catalog.
+    let scenario = lookup("quickstart-demo").expect("registered scenario");
+    println!("scenario: {} — {}", scenario.name, scenario.title);
+    let k = scenario.covariance_matrix().expect("valid scenario");
 
     // 2. Build the generator (eigendecomposition + coloring happen here).
-    let mut gen = CorrelatedRayleighGenerator::new(k.clone(), 42).expect("valid covariance");
+    let mut gen = scenario.build(42).expect("valid covariance");
     println!("envelopes: {}", gen.dimension());
     println!(
         "covariance was PSD: {} (clipped eigenvalues: {})",
@@ -50,23 +47,25 @@ fn main() {
         relative_frobenius_error(&khat, &k)
     );
 
-    // 5. The same thing through the builder, starting from desired envelope
-    //    powers σ_r² (Eq. 11 conversion happens internally).
-    let mut gen2 = GeneratorBuilder::new()
-        .covariance(k)
-        .envelope_powers(&[0.2146, 0.4292, 0.2146])
+    // 5. The same scenario through the builder bridge, overriding the powers
+    //    with desired *envelope* variances σ_r² (Eq. 11 conversion happens
+    //    internally).
+    let requested = [0.2146, 0.4292, 0.2146];
+    let mut gen2 = scenario
+        .to_builder()
+        .envelope_powers(&requested)
         .seed(7)
         .build()
         .expect("valid configuration");
     let paths = gen2.generate_envelope_paths(50_000);
     println!();
-    println!("builder with envelope powers [0.2146, 0.4292, 0.2146]:");
+    println!("builder with envelope powers {requested:?}:");
     for (j, p) in paths.iter().enumerate() {
         println!(
             "  envelope {} variance: {:.4} (requested {:.4})",
             j + 1,
             corrfade_stats::variance(p),
-            [0.2146, 0.4292, 0.2146][j]
+            requested[j]
         );
     }
 }

@@ -1,4 +1,5 @@
-//! Real-time (Doppler-correlated) generation: the paper's Sec. 5 algorithm.
+//! Real-time (Doppler-correlated) generation: the paper's Sec. 5 algorithm,
+//! on the registered `fig4a-spectral` scenario.
 //!
 //! Demonstrates that the generated processes have *both* the requested
 //! cross-correlation (covariance matrix) and the Clarke/Jakes temporal
@@ -8,29 +9,29 @@
 //!
 //! Run with: `cargo run --release --example realtime_doppler`
 
-use corrfade::{RealtimeConfig, RealtimeGenerator};
-use corrfade_models::paper_covariance_matrix_22;
+use corrfade::RealtimeGenerator;
+use corrfade_scenarios::lookup;
 use corrfade_specfun::bessel_j0;
 use corrfade_stats::{
     normalized_autocorrelation, relative_frobenius_error, sample_covariance_from_paths,
 };
 
 fn main() {
-    let k = paper_covariance_matrix_22();
-    let fm = 0.05;
+    let scenario = lookup("fig4a-spectral").expect("registered scenario");
+    let k = scenario.covariance_matrix().expect("valid scenario");
+    let fm = scenario.doppler.normalized_doppler;
 
-    println!("real-time generation of 3 correlated envelopes, fm = {fm}, M = 4096");
+    println!(
+        "real-time generation of {} correlated envelopes (scenario {}), fm = {fm}, M = {}",
+        scenario.envelopes, scenario.name, scenario.doppler.idft_size
+    );
 
-    // The invariance to sigma_orig^2 is the point: sweep it.
+    // The invariance to sigma_orig^2 is the point: sweep it around the
+    // scenario's default of 0.5.
     for &sigma_orig_sq in &[0.1f64, 0.5, 2.0] {
-        let mut gen = RealtimeGenerator::new(RealtimeConfig {
-            covariance: k.clone(),
-            idft_size: 4096,
-            normalized_doppler: fm,
-            sigma_orig_sq,
-            seed: 0xD0,
-        })
-        .expect("valid configuration");
+        let mut cfg = scenario.realtime_config(0xD0).expect("valid scenario");
+        cfg.sigma_orig_sq = sigma_orig_sq;
+        let mut gen = RealtimeGenerator::new(cfg).expect("valid configuration");
 
         let block = gen.generate_blocks(8);
         let khat = sample_covariance_from_paths(&block.gaussian_paths);
@@ -43,14 +44,7 @@ fn main() {
     }
 
     // Temporal autocorrelation of one envelope vs the J0 target.
-    let mut gen = RealtimeGenerator::new(RealtimeConfig {
-        covariance: k,
-        idft_size: 4096,
-        normalized_doppler: fm,
-        sigma_orig_sq: 0.5,
-        seed: 0xD1,
-    })
-    .expect("valid configuration");
+    let mut gen = scenario.build_realtime(0xD1).expect("valid configuration");
     let block = gen.generate_blocks(8);
     let rho = normalized_autocorrelation(&block.gaussian_paths[0], 60);
     println!();

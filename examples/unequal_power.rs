@@ -1,24 +1,23 @@
 //! Unequal-power envelopes and non-PSD covariance targets — the two
-//! generalizations the paper's title promises over the conventional methods.
+//! generalizations the paper's title promises over the conventional methods,
+//! resolved from the registry as the `unequal-power-spatial` and
+//! `indefinite-rho09` scenarios.
 //!
 //! Run with: `cargo run --release --example unequal_power`
 
-use corrfade::{CorrelatedRayleighGenerator, GeneratorBuilder};
-use corrfade_linalg::{c64, CMatrix};
-use corrfade_models::paper_spatial_scenario;
+use corrfade_scenarios::{lookup, PowerProfile};
 use corrfade_stats::{relative_frobenius_error, sample_covariance};
 
 fn main() {
     // 1. Unequal powers specified as desired *envelope* variances σ_r²
     //    (converted through Eq. 11), on top of the paper's spatial
     //    correlation structure.
-    let requested = [0.1f64, 0.5, 1.0];
-    let mut gen = GeneratorBuilder::new()
-        .spatial_scenario(paper_spatial_scenario(), 3)
-        .envelope_powers(&requested)
-        .seed(0xAB)
-        .build()
-        .expect("valid configuration");
+    let scenario = lookup("unequal-power-spatial").expect("registered scenario");
+    let PowerProfile::Envelope(requested) = scenario.powers else {
+        unreachable!("unequal-power-spatial declares envelope powers");
+    };
+    let mut gen = scenario.build(0xAB).expect("valid configuration");
+    println!("scenario: {} — {}", scenario.name, scenario.title);
     println!("desired covariance with unequal powers (Eq. 11 applied):");
     println!("{:.4}", gen.desired_covariance());
 
@@ -36,12 +35,10 @@ fn main() {
     //    +0.9 / +0.9 / -0.9 is jointly infeasible. Conventional Cholesky
     //    methods abort; the proposed algorithm replaces the target with its
     //    closest PSD approximation and proceeds.
-    let infeasible = CMatrix::from_rows(&[
-        vec![c64(1.0, 0.0), c64(0.9, 0.0), c64(-0.9, 0.0)],
-        vec![c64(0.9, 0.0), c64(1.0, 0.0), c64(0.9, 0.0)],
-        vec![c64(-0.9, 0.0), c64(0.9, 0.0), c64(1.0, 0.0)],
-    ]);
+    let stress = lookup("indefinite-rho09").expect("registered scenario");
+    let infeasible = stress.covariance_matrix().expect("valid scenario");
     println!();
+    println!("scenario: {} — {}", stress.name, stress.title);
     println!("infeasible (non-PSD) covariance target:");
     println!("{infeasible:.4}");
     println!(
@@ -52,7 +49,8 @@ fn main() {
         }
     );
 
-    let mut gen = CorrelatedRayleighGenerator::new(infeasible.clone(), 0xAC)
+    let mut gen = stress
+        .build(0xAC)
         .expect("the proposed algorithm accepts non-PSD targets");
     println!(
         "proposed algorithm: clipped {} negative eigenvalue(s); realized (closest PSD) covariance:",

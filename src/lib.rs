@@ -17,6 +17,7 @@ pub use corrfade_linalg as linalg;
 pub use corrfade_models as models;
 pub use corrfade_parallel as parallel;
 pub use corrfade_randn as randn;
+pub use corrfade_scenarios as scenarios;
 pub use corrfade_specfun as specfun;
 pub use corrfade_stats as stats;
 

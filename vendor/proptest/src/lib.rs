@@ -1,7 +1,7 @@
 //! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
 //! crate, implementing the subset this workspace's property tests use:
 //!
-//! * the [`Strategy`] trait with `prop_map` / `prop_flat_map` combinators,
+//! * the [`Strategy`](strategy::Strategy) trait with `prop_map` / `prop_flat_map` combinators,
 //! * range strategies for the primitive numeric types, tuple strategies,
 //!   [`strategy::Just`] and [`collection::vec`],
 //! * the [`proptest!`] macro (with the optional
