@@ -12,10 +12,12 @@
 //! Both are reproduced with their original restrictions so that the
 //! experiment harness can chart exactly where they fail and by how much.
 
-use corrfade_linalg::{cholesky, CMatrix, Complex64, LinalgError};
+use corrfade::{ChannelStream, CorrfadeError};
+use corrfade_linalg::{cholesky, CMatrix, Complex64, LinalgError, SampleBlock};
 use corrfade_randn::{ComplexGaussian, RandomStream};
 
 use crate::error::BaselineError;
+use crate::streaming::{fill_snapshot_block, SNAPSHOT_STREAM_BLOCK_LEN};
 
 fn validate_square_hermitian(k: &CMatrix, _method: &'static str) -> Result<(), BaselineError> {
     if !k.is_square() || k.rows() == 0 {
@@ -45,11 +47,17 @@ fn cholesky_or_error(k: &CMatrix, method: &'static str) -> Result<CMatrix, Basel
 
 /// The Beaulieu–Merani equal-power, N ≥ 2, Cholesky-based generator
 /// (baseline \[4\]).
+///
+/// Implements [`ChannelStream`] by batching independent snapshots into
+/// planar blocks.
 #[derive(Debug, Clone)]
 pub struct BeaulieuMeraniGenerator {
     coloring: CMatrix,
     rng: RandomStream,
     gaussian: ComplexGaussian,
+    /// White/colored vector scratch for the streaming path.
+    w: Vec<Complex64>,
+    z: Vec<Complex64>,
 }
 
 impl BeaulieuMeraniGenerator {
@@ -72,6 +80,8 @@ impl BeaulieuMeraniGenerator {
             coloring,
             rng: RandomStream::new(seed),
             gaussian: ComplexGaussian::default(),
+            w: Vec::new(),
+            z: Vec::new(),
         })
     }
 
@@ -99,14 +109,42 @@ impl BeaulieuMeraniGenerator {
     }
 }
 
+impl ChannelStream for BeaulieuMeraniGenerator {
+    fn dimension(&self) -> usize {
+        self.coloring.rows()
+    }
+
+    fn block_len(&self) -> usize {
+        SNAPSHOT_STREAM_BLOCK_LEN
+    }
+
+    fn next_block_into(&mut self, block: &mut SampleBlock) -> Result<(), CorrfadeError> {
+        let Self {
+            coloring,
+            gaussian,
+            rng,
+            w,
+            z,
+        } = self;
+        fill_snapshot_block(coloring, gaussian, rng, w, z, block);
+        Ok(())
+    }
+}
+
 /// The Natarajan–Nassar–Chandrasekhar generator (baseline \[5\]): arbitrary
 /// powers, Cholesky coloring, covariances forced to be real.
+///
+/// Implements [`ChannelStream`] by batching independent snapshots into
+/// planar blocks.
 #[derive(Debug, Clone)]
 pub struct NatarajanGenerator {
     coloring: CMatrix,
     target_after_realification: CMatrix,
     rng: RandomStream,
     gaussian: ComplexGaussian,
+    /// White/colored vector scratch for the streaming path.
+    w: Vec<Complex64>,
+    z: Vec<Complex64>,
 }
 
 impl NatarajanGenerator {
@@ -151,6 +189,8 @@ impl NatarajanGenerator {
             target_after_realification: realified,
             rng: RandomStream::new(seed),
             gaussian: ComplexGaussian::default(),
+            w: Vec::new(),
+            z: Vec::new(),
         })
     }
 
@@ -181,6 +221,29 @@ impl NatarajanGenerator {
     /// Draws `count` snapshots.
     pub fn generate_snapshots(&mut self, count: usize) -> Vec<Vec<Complex64>> {
         (0..count).map(|_| self.sample_gaussian()).collect()
+    }
+}
+
+impl ChannelStream for NatarajanGenerator {
+    fn dimension(&self) -> usize {
+        self.coloring.rows()
+    }
+
+    fn block_len(&self) -> usize {
+        SNAPSHOT_STREAM_BLOCK_LEN
+    }
+
+    fn next_block_into(&mut self, block: &mut SampleBlock) -> Result<(), CorrfadeError> {
+        let Self {
+            coloring,
+            gaussian,
+            rng,
+            w,
+            z,
+            ..
+        } = self;
+        fill_snapshot_block(coloring, gaussian, rng, w, z, block);
+        Ok(())
     }
 }
 

@@ -17,6 +17,12 @@
 //! | Young & Beaulieu \[7\] | re-exported from `corrfade-dsp` | single envelope only (no cross-correlation) |
 //!
 //! The proposed algorithm itself lives in the `corrfade` crate.
+//!
+//! The constructible `N ≥ 2` baselines (\[1\], \[4\], \[5\], \[6\] in both
+//! modes) also implement [`corrfade::ChannelStream`], writing planar
+//! [`corrfade::SampleBlock`] buffers like the proposed generators, so the
+//! E8/E10 ablations compare every method through one streaming interface
+//! ([`BaselineMethod::try_stream`]).
 
 #![warn(missing_docs)]
 
@@ -24,6 +30,7 @@ pub mod cholesky_methods;
 pub mod error;
 pub mod salz_winters_gen;
 pub mod sorooshyari_daut;
+mod streaming;
 pub mod two_envelope;
 
 pub use cholesky_methods::{BeaulieuMeraniGenerator, NatarajanGenerator};
@@ -111,6 +118,39 @@ impl BaselineMethod {
             }
         }
     }
+
+    /// Attempts to build the method as a boxed
+    /// [`corrfade::ChannelStream`] for the given covariance matrix, so the
+    /// E10 shortcoming matrix (and any service layer) can drive every
+    /// constructible baseline through the same streaming interface as the
+    /// proposed algorithm.
+    ///
+    /// # Errors
+    /// Construction failures (the method cannot handle the scenario), or
+    /// [`BaselineError::StreamingUnsupported`] for the two-envelope methods
+    /// \[2\]/\[3\], whose historical formulations are reproduced
+    /// sample-by-sample only.
+    pub fn try_stream(
+        self,
+        k: &corrfade_linalg::CMatrix,
+        seed: u64,
+    ) -> Result<Box<dyn corrfade::ChannelStream>, BaselineError> {
+        match self {
+            BaselineMethod::SalzWinters => SalzWintersGenerator::new(k, seed)
+                .map(|g| Box::new(g) as Box<dyn corrfade::ChannelStream>),
+            BaselineMethod::BeaulieuMerani => BeaulieuMeraniGenerator::new(k, seed)
+                .map(|g| Box::new(g) as Box<dyn corrfade::ChannelStream>),
+            BaselineMethod::Natarajan => NatarajanGenerator::new(k, seed)
+                .map(|g| Box::new(g) as Box<dyn corrfade::ChannelStream>),
+            BaselineMethod::SorooshyariDaut => SorooshyariDautGenerator::new(k, seed)
+                .map(|g| Box::new(g) as Box<dyn corrfade::ChannelStream>),
+            BaselineMethod::ErtelReed | BaselineMethod::Beaulieu => {
+                Err(BaselineError::StreamingUnsupported {
+                    method: self.name(),
+                })
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -170,6 +210,52 @@ mod tests {
         assert!(BaselineMethod::SorooshyariDaut
             .try_generate(&indefinite, 1)
             .is_ok());
+    }
+
+    #[test]
+    fn streaming_baselines_match_their_legacy_sampling_bit_for_bit() {
+        use corrfade::{ChannelStream, SampleBlock};
+        let k = paper_covariance_matrix_23();
+        let mut block = SampleBlock::empty();
+        for method in [
+            BaselineMethod::SalzWinters,
+            BaselineMethod::BeaulieuMerani,
+            BaselineMethod::Natarajan,
+            BaselineMethod::SorooshyariDaut,
+        ] {
+            let mut stream = method.try_stream(&k, 42).unwrap();
+            stream.next_block_into(&mut block).unwrap();
+            let m = block.samples();
+            assert_eq!(block.envelopes(), 3, "{}", method.name());
+            // The same seed through the legacy per-snapshot API must produce
+            // the identical sample sequence.
+            let legacy_snaps = match method {
+                BaselineMethod::SalzWinters => SalzWintersGenerator::new(&k, 42)
+                    .unwrap()
+                    .generate_snapshots(m),
+                BaselineMethod::BeaulieuMerani => BeaulieuMeraniGenerator::new(&k, 42)
+                    .unwrap()
+                    .generate_snapshots(m),
+                BaselineMethod::Natarajan => NatarajanGenerator::new(&k, 42)
+                    .unwrap()
+                    .generate_snapshots(m),
+                BaselineMethod::SorooshyariDaut => SorooshyariDautGenerator::new(&k, 42)
+                    .unwrap()
+                    .generate_snapshots(m),
+                _ => unreachable!(),
+            };
+            for (l, snap) in legacy_snaps.iter().enumerate() {
+                for (j, &expected) in snap.iter().enumerate() {
+                    assert_eq!(block.path(j)[l], expected, "{} sample {l}", method.name());
+                }
+            }
+        }
+        // The two-envelope methods report a typed streaming gap.
+        let k2 = two_envelope_covariance(1.0, corrfade_linalg::c64(0.5, 0.0));
+        assert!(matches!(
+            BaselineMethod::ErtelReed.try_stream(&k2, 1),
+            Err(BaselineError::StreamingUnsupported { .. })
+        ));
     }
 
     #[test]

@@ -16,16 +16,21 @@
 //!   reports [`BaselineError::NotPositiveSemidefinite`] instead of silently
 //!   producing a wrong (complex) coloring matrix.
 
-use corrfade_linalg::{c64, symmetric_eigen, CMatrix, Complex64, RMatrix};
+use corrfade::{ChannelStream, CorrfadeError};
+use corrfade_linalg::{c64, symmetric_eigen, CMatrix, Complex64, RMatrix, SampleBlock};
 use corrfade_randn::{NormalSampler, RandomStream};
 
 use crate::error::BaselineError;
+use crate::streaming::SNAPSHOT_STREAM_BLOCK_LEN;
 
 /// Relative tolerance below which a negative eigenvalue of the real
 /// embedding is attributed to round-off rather than genuine indefiniteness.
 const PSD_TOL: f64 = 1e-10;
 
 /// The Salz–Winters real-embedding generator (baseline \[1\]).
+///
+/// Implements [`ChannelStream`] by batching independent snapshots into
+/// planar blocks, like the proposed single-instant generator.
 #[derive(Debug, Clone)]
 pub struct SalzWintersGenerator {
     n: usize,
@@ -33,6 +38,10 @@ pub struct SalzWintersGenerator {
     coloring: RMatrix,
     rng: RandomStream,
     sampler: NormalSampler,
+    /// White `2N` real vector scratch for the streaming path.
+    a: Vec<f64>,
+    /// Colored `2N` real vector scratch for the streaming path.
+    c: Vec<f64>,
 }
 
 impl SalzWintersGenerator {
@@ -95,6 +104,8 @@ impl SalzWintersGenerator {
             coloring,
             rng: RandomStream::new(seed),
             sampler: NormalSampler::default(),
+            a: Vec::new(),
+            c: Vec::new(),
         })
     }
 
@@ -103,13 +114,26 @@ impl SalzWintersGenerator {
         self.n
     }
 
+    /// Draws one real `2N` colored embedding vector into the internal
+    /// scratch — the allocation-free primitive behind both the legacy
+    /// sampling methods and the streaming path.
+    fn draw_embedding(&mut self) {
+        let dim = 2 * self.n;
+        self.a.resize(dim, 0.0);
+        self.c.resize(dim, 0.0);
+        let Self {
+            rng, sampler, a, ..
+        } = self;
+        sampler.fill(rng, a, 0.0, 1.0);
+        self.coloring.matvec_into(&self.a, &mut self.c);
+    }
+
     /// Draws one correlated complex Gaussian vector.
     pub fn sample_gaussian(&mut self) -> Vec<Complex64> {
-        let dim = 2 * self.n;
-        let mut a = vec![0.0f64; dim];
-        self.sampler.fill(&mut self.rng, &mut a, 0.0, 1.0);
-        let c = self.coloring.matvec(&a);
-        (0..self.n).map(|j| c64(c[j], c[j + self.n])).collect()
+        self.draw_embedding();
+        (0..self.n)
+            .map(|j| c64(self.c[j], self.c[j + self.n]))
+            .collect()
     }
 
     /// Draws one vector of correlated Rayleigh envelopes.
@@ -120,6 +144,30 @@ impl SalzWintersGenerator {
     /// Draws `count` snapshots of the complex Gaussian vector.
     pub fn generate_snapshots(&mut self, count: usize) -> Vec<Vec<Complex64>> {
         (0..count).map(|_| self.sample_gaussian()).collect()
+    }
+}
+
+impl ChannelStream for SalzWintersGenerator {
+    fn dimension(&self) -> usize {
+        self.n
+    }
+
+    fn block_len(&self) -> usize {
+        SNAPSHOT_STREAM_BLOCK_LEN
+    }
+
+    fn next_block_into(&mut self, block: &mut SampleBlock) -> Result<(), CorrfadeError> {
+        let n = self.n;
+        let m = SNAPSHOT_STREAM_BLOCK_LEN;
+        block.resize(n, m);
+        for l in 0..m {
+            self.draw_embedding();
+            let data = block.as_mut_slice();
+            for j in 0..n {
+                data[j * m + l] = c64(self.c[j], self.c[j + self.n]);
+            }
+        }
+        Ok(())
     }
 }
 

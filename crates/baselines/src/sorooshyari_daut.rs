@@ -16,11 +16,13 @@
 //! [`SorooshyariDautRealtimeGenerator`] reproduces the flawed combination so
 //! experiment E8 can quantify the error.
 
+use corrfade::{ChannelStream, CorrfadeError};
 use corrfade_dsp::{DopplerFilter, IdftRayleighGenerator};
-use corrfade_linalg::{cholesky, hermitian_eigen, CMatrix, Complex64, LinalgError};
+use corrfade_linalg::{cholesky, hermitian_eigen, CMatrix, Complex64, LinalgError, SampleBlock};
 use corrfade_randn::{ComplexGaussian, RandomStream};
 
 use crate::error::BaselineError;
+use crate::streaming::{fill_snapshot_block, SNAPSHOT_STREAM_BLOCK_LEN};
 
 /// The default ε used when rebuilding a non-PSD covariance matrix, matching
 /// the "small positive number" of ref. \[6\].
@@ -55,6 +57,10 @@ pub fn epsilon_psd_forcing(k: &CMatrix, epsilon: f64) -> Result<(CMatrix, usize)
 
 /// The Sorooshyari–Daut single-instant generator (baseline \[6\]): equal-power
 /// envelopes, ε-forced PSD approximation, Cholesky coloring.
+///
+/// Implements [`ChannelStream`] by batching independent snapshots into
+/// planar blocks, so the E10 shortcoming matrix drives it through the same
+/// interface as the proposed algorithm.
 #[derive(Debug, Clone)]
 pub struct SorooshyariDautGenerator {
     coloring: CMatrix,
@@ -62,6 +68,10 @@ pub struct SorooshyariDautGenerator {
     replaced_eigenvalues: usize,
     rng: RandomStream,
     gaussian: ComplexGaussian,
+    /// White-vector scratch for the streaming path.
+    w: Vec<Complex64>,
+    /// Colored-vector scratch for the streaming path.
+    z: Vec<Complex64>,
 }
 
 impl SorooshyariDautGenerator {
@@ -115,6 +125,8 @@ impl SorooshyariDautGenerator {
             replaced_eigenvalues,
             rng: RandomStream::new(seed),
             gaussian: ComplexGaussian::default(),
+            w: Vec::new(),
+            z: Vec::new(),
         })
     }
 
@@ -153,15 +165,46 @@ impl SorooshyariDautGenerator {
     }
 }
 
+impl ChannelStream for SorooshyariDautGenerator {
+    fn dimension(&self) -> usize {
+        self.coloring.rows()
+    }
+
+    fn block_len(&self) -> usize {
+        SNAPSHOT_STREAM_BLOCK_LEN
+    }
+
+    fn next_block_into(&mut self, block: &mut SampleBlock) -> Result<(), CorrfadeError> {
+        let Self {
+            coloring,
+            gaussian,
+            rng,
+            w,
+            z,
+            ..
+        } = self;
+        fill_snapshot_block(coloring, gaussian, rng, w, z, block);
+        Ok(())
+    }
+}
+
 /// The flawed real-time combination of ref. \[6\]: Doppler-filtered sequences
 /// are colored **as if they had unit variance**, ignoring the Eq.-19 variance
 /// change of the Doppler filter.
+///
+/// Implements [`ChannelStream`] so the E8 ablation can drive the proposed
+/// and flawed combinations through the identical streaming code path.
 #[derive(Debug, Clone)]
 pub struct SorooshyariDautRealtimeGenerator {
     coloring: CMatrix,
     idft: IdftRayleighGenerator,
     rng: RandomStream,
     n: usize,
+    /// Planar `N × M` scratch for the raw Doppler sequences.
+    raw: Vec<Complex64>,
+    /// Per-instant input/output vector scratch.
+    w: Vec<Complex64>,
+    z: Vec<Complex64>,
 }
 
 impl SorooshyariDautRealtimeGenerator {
@@ -193,6 +236,9 @@ impl SorooshyariDautRealtimeGenerator {
             coloring: single.coloring,
             idft,
             rng: RandomStream::new(seed),
+            raw: Vec::new(),
+            w: Vec::new(),
+            z: Vec::new(),
         })
     }
 
@@ -209,24 +255,49 @@ impl SorooshyariDautRealtimeGenerator {
 
     /// Generates one block of `M` time samples per envelope using the flawed
     /// unit-variance assumption: `Z[l] = L·W[l]` with no `1/σ_g` scaling.
+    ///
+    /// Compatibility wrapper over the [`ChannelStream`] path.
     pub fn generate_block(&mut self) -> Vec<Vec<Complex64>> {
+        let mut block = SampleBlock::empty();
+        self.next_block_into(&mut block)
+            .expect("baseline streaming is infallible after construction");
+        block.to_paths()
+    }
+}
+
+impl ChannelStream for SorooshyariDautRealtimeGenerator {
+    fn dimension(&self) -> usize {
+        self.n
+    }
+
+    fn block_len(&self) -> usize {
+        self.idft.filter().len()
+    }
+
+    fn next_block_into(&mut self, block: &mut SampleBlock) -> Result<(), CorrfadeError> {
         let n = self.n;
         let m = self.idft.filter().len();
-        let raw: Vec<Vec<Complex64>> = (0..n).map(|_| self.idft.generate(&mut self.rng)).collect();
-        let mut paths = vec![Vec::with_capacity(m); n];
-        let mut w = vec![Complex64::ZERO; n];
+        block.resize(n, m);
+        self.raw.resize(n * m, Complex64::ZERO);
+        self.w.resize(n, Complex64::ZERO);
+        self.z.resize(n, Complex64::ZERO);
+        for j in 0..n {
+            self.idft
+                .generate_into(&mut self.rng, &mut self.raw[j * m..(j + 1) * m]);
+        }
+        let data = block.as_mut_slice();
         for l in 0..m {
-            for (wj, raw_j) in w.iter_mut().zip(&raw) {
-                *wj = raw_j[l];
+            for j in 0..n {
+                self.w[j] = self.raw[j * m + l];
             }
             // Flaw reproduced on purpose: ref. [6] inserts the Doppler
             // outputs into its step 6 as if their variance were 1.
-            let z = self.coloring.matvec(&w);
+            self.coloring.matvec_into(&self.w, &mut self.z);
             for j in 0..n {
-                paths[j].push(z[j]);
+                data[j * m + l] = self.z[j];
             }
         }
-        paths
+        Ok(())
     }
 }
 

@@ -3,7 +3,9 @@
 //! counts, and the streaming covariance estimator, on the registered
 //! `scaling-exp-rho07` scenario (N = 16).
 
-use corrfade_parallel::{generate_snapshots, monte_carlo_covariance, ParallelConfig};
+use corrfade_parallel::{
+    generate_realtime_paths, generate_snapshots, monte_carlo_covariance, ParallelConfig,
+};
 use corrfade_scenarios::lookup;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
@@ -64,9 +66,39 @@ fn bench_streaming_covariance(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_realtime_blocks(c: &mut Criterion) {
+    // Parallel Doppler-block generation: workers stream reseeded generators
+    // into pooled planar blocks (one eigendecomposition + filter design
+    // total).
+    let base = lookup("fig4a-spectral")
+        .unwrap()
+        .realtime_config(1)
+        .unwrap();
+    let blocks = 8usize;
+    let mut group = c.benchmark_group("parallel/realtime_blocks_m4096");
+    group.throughput(Throughput::Elements((base.idft_size * 3 * blocks) as u64));
+    group.sample_size(10);
+    for &threads in &[1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                let cfg = ParallelConfig {
+                    threads,
+                    chunk_size: 8192,
+                    seed: 1,
+                };
+                b.iter(|| generate_realtime_paths(&base, blocks, &cfg).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_snapshot_generation,
-    bench_streaming_covariance
+    bench_streaming_covariance,
+    bench_realtime_blocks
 );
 criterion_main!(benches);

@@ -1,9 +1,10 @@
 //! Bench: the two real-time combinations compared by experiment E8 —
 //! variance-aware (proposed) vs unit-variance-assuming (ref. \[6\]) — on the
 //! registered `fig4a-spectral` scenario at the same Doppler/IDFT settings,
-//! to show the correction costs nothing.
+//! to show the correction costs nothing. Both are driven through the shared
+//! `ChannelStream` interface with a pooled planar block.
 
-use corrfade::RealtimeGenerator;
+use corrfade::{ChannelStream, RealtimeGenerator, SampleBlock};
 use corrfade_baselines::SorooshyariDautRealtimeGenerator;
 use corrfade_scenarios::lookup;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
@@ -20,7 +21,8 @@ fn bench_realtime_combinations(c: &mut Criterion) {
         let mut cfg = scenario.realtime_config(1).unwrap();
         cfg.idft_size = M;
         let mut gen = RealtimeGenerator::new(cfg).unwrap();
-        b.iter(|| gen.generate_block())
+        let mut block = SampleBlock::empty();
+        b.iter(|| gen.next_block_into(&mut block).unwrap())
     });
 
     group.bench_function("ref6_unit_variance_assumption", |b| {
@@ -28,7 +30,8 @@ fn bench_realtime_combinations(c: &mut Criterion) {
         let fm = scenario.doppler.normalized_doppler;
         let sigma = scenario.doppler.sigma_orig_sq;
         let mut gen = SorooshyariDautRealtimeGenerator::new(&k, M, fm, sigma, 1).unwrap();
-        b.iter(|| gen.generate_block())
+        let mut block = SampleBlock::empty();
+        b.iter(|| gen.next_block_into(&mut block).unwrap())
     });
     group.finish();
 }

@@ -10,7 +10,7 @@
 //! * S5 — `indefinite-rho09`: indefinite (non-PSD) target,
 //! * S6 — `near-singular-eps1e9`: near-singular PD target, N = 4.
 
-use corrfade::CorrelatedRayleighGenerator;
+use corrfade::{ChannelStream, CorrelatedRayleighGenerator, SampleBlock};
 use corrfade_baselines::BaselineMethod;
 use corrfade_bench::report;
 use corrfade_linalg::CMatrix;
@@ -45,12 +45,18 @@ fn main() {
     widths[0] = 28;
     println!("{}", report::table_row(&header, &widths));
 
+    // Every constructible method is additionally driven through the shared
+    // ChannelStream interface into this pooled planar block, so the matrix
+    // certifies like-for-like streaming as well as constructibility.
+    let mut block = SampleBlock::empty();
     for (name, k) in scenarios() {
         let mut cells = vec![name];
         // The proposed algorithm: always constructible; report whether the
         // target had to be PSD-forced.
         match CorrelatedRayleighGenerator::new(k.clone(), 0xE10) {
-            Ok(g) => {
+            Ok(mut g) => {
+                g.next_block_into(&mut block)
+                    .expect("streaming never fails");
                 if g.coloring().psd.clipped_count > 0 {
                     cells.push("ok (PSD-forced)".into());
                 } else {
@@ -61,7 +67,15 @@ fn main() {
         }
         for method in BaselineMethod::ALL {
             match method.try_generate(&k, 0xE10) {
-                Ok(_) => cells.push("ok".into()),
+                Ok(_) => match method.try_stream(&k, 0xE10) {
+                    Ok(mut stream) => {
+                        stream
+                            .next_block_into(&mut block)
+                            .expect("streaming never fails after construction");
+                        cells.push("ok (stream)".into());
+                    }
+                    Err(_) => cells.push("ok (sample)".into()),
+                },
                 Err(e) => cells.push(short_reason(&e)),
             }
         }
@@ -70,7 +84,9 @@ fn main() {
 
     println!();
     println!("legend: 'unequal' = equal-power restriction, 'N=2' = two-envelope restriction,");
-    println!("        'complex' = real-covariance restriction, 'chol' = Cholesky/PSD failure.");
+    println!("        'complex' = real-covariance restriction, 'chol' = Cholesky/PSD failure,");
+    println!("        '(stream)' = drives the shared ChannelStream block interface,");
+    println!("        '(sample)' = constructible but reproduced sample-by-sample only.");
     println!();
     println!(
         "Expected shape (paper Sec. 1): only the proposed algorithm handles every scenario; each \
@@ -86,6 +102,7 @@ fn short_reason(e: &corrfade_baselines::BaselineError) -> String {
         E::CholeskyFailed { .. } => "fail: chol".into(),
         E::NotPositiveSemidefinite { .. } => "fail: not PSD".into(),
         E::ComplexCovarianceUnsupported { .. } => "fail: complex".into(),
+        E::StreamingUnsupported { .. } => "fail: no stream".into(),
         E::Invalid { .. } => "fail: invalid".into(),
     }
 }

@@ -8,8 +8,19 @@
 //! Rayleigh — are measured here and the 200-sample traces are dumped to CSV
 //! for plotting.
 
-use corrfade_bench::{fig4_envelope_traces, realtime_paths, report};
+use corrfade_bench::{collect_stream_paths, fig4_envelope_traces, report};
 use corrfade_stats::{relative_frobenius_error, sample_covariance_from_paths};
+
+/// Number of streamed blocks for the quantitative validation. Overridable
+/// through `CORRFADE_E3_BLOCKS` so the CI smoke step can run a reduced
+/// version of the full experiment.
+fn block_count() -> usize {
+    std::env::var("CORRFADE_E3_BLOCKS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&b| b > 0)
+        .unwrap_or(20)
+}
 
 fn main() {
     report::section("E3: Fig. 4(a) — three spectrally-correlated envelopes (real-time mode)");
@@ -39,8 +50,16 @@ fn main() {
         );
     }
 
-    // Quantitative validation over a long run (20 blocks × 4096 samples).
-    let paths = realtime_paths(k.clone(), 20, 0x4a51);
+    // Quantitative validation over a long run (default 20 blocks × 4096
+    // samples), streamed through the scenario's boxed ChannelStream into one
+    // pooled planar block.
+    let blocks = block_count();
+    println!(
+        "streaming {blocks} blocks of {} samples",
+        scenario.doppler.idft_size
+    );
+    let mut stream = scenario.stream(0x4a51).expect("valid scenario");
+    let paths = collect_stream_paths(&mut stream, blocks);
     let khat = sample_covariance_from_paths(&paths);
     report::print_matrix("desired covariance (Eq. 22)", &k);
     report::print_matrix("sample covariance of the generated processes", &khat);

@@ -7,7 +7,7 @@
 //! marginals, strong visual correlation between adjacent antennas) are
 //! measured.
 
-use corrfade_bench::{fig4_envelope_traces, realtime_paths, report};
+use corrfade_bench::{collect_stream_paths, fig4_envelope_traces, report};
 use corrfade_stats::{pearson_correlation, relative_frobenius_error, sample_covariance_from_paths};
 
 fn main() {
@@ -38,7 +38,10 @@ fn main() {
         pearson_correlation(&traces[0], &traces[2])
     );
 
-    let paths = realtime_paths(k.clone(), 20, 0x4b51);
+    // Stream the validation run through the scenario's boxed ChannelStream
+    // (one pooled planar block, zero steady-state allocation).
+    let mut stream = scenario.stream(0x4b51).expect("valid scenario");
+    let paths = collect_stream_paths(&mut stream, 20);
     let khat = sample_covariance_from_paths(&paths);
     report::print_matrix("desired covariance (Eq. 23)", &k);
     report::print_matrix("sample covariance of the generated processes", &khat);

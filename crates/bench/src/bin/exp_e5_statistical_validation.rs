@@ -9,21 +9,28 @@
 //! All three configurations are resolved from the scenario registry:
 //! `fig4a-spectral`, `unequal-power-spatial` and `indefinite-rho09`.
 
-use corrfade_bench::report;
+use corrfade_bench::{report, stream_covariance};
 use corrfade_scenarios::{lookup, PowerProfile};
-use corrfade_stats::{relative_frobenius_error, sample_covariance};
+use corrfade_stats::relative_frobenius_error;
 
 const SNAPSHOTS: usize = 200_000;
+/// Snapshots per streamed block (the single-instant generators batch
+/// independent snapshots through `ChannelStream`).
+const STREAM_BATCH: usize = 1000;
 
 fn main() {
     report::section("E5: statistical validation of Sec. 4.5 (single-instant mode)");
 
-    // 1. Equal-power complex covariance (Eq. 22 target).
+    // 1. Equal-power complex covariance (Eq. 22 target). The covariance is
+    //    folded straight from the pooled planar block — no snapshot ensemble
+    //    is materialized.
     let spectral = lookup("fig4a-spectral").expect("registered scenario");
     let k = spectral.covariance_matrix().expect("valid scenario");
-    let mut gen = spectral.build(0xE5).unwrap();
-    let snaps = gen.generate_snapshots(SNAPSHOTS);
-    let khat = sample_covariance(&snaps);
+    let mut gen = spectral
+        .build(0xE5)
+        .unwrap()
+        .with_stream_block_len(STREAM_BATCH);
+    let khat = stream_covariance(&mut gen, SNAPSHOTS / STREAM_BATCH);
     report::compare_matrices("E[Z Z^H] vs Eq. (22) target", &k, &khat);
     report::measured_scalar(
         "relative Frobenius error",
@@ -82,9 +89,12 @@ fn main() {
         .expect("registered scenario")
         .with_envelopes(4);
     let bad = stress.covariance_matrix().expect("valid scenario");
-    let mut gen = stress.build(0xE53).unwrap();
+    let mut gen = stress
+        .build(0xE53)
+        .unwrap()
+        .with_stream_block_len(STREAM_BATCH);
     let forced = gen.realized_covariance();
-    let khat = sample_covariance(&gen.generate_snapshots(SNAPSHOTS));
+    let khat = stream_covariance(&mut gen, SNAPSHOTS / STREAM_BATCH);
     println!(
         "clipped eigenvalues: {} of {}",
         gen.coloring().psd.clipped_count,

@@ -7,7 +7,7 @@
 //! sweep overrides its normalized Doppler frequency with
 //! `f_m ∈ {0.01, 0.05, 0.1}` at the paper's `M = 4096`.
 
-use corrfade::RealtimeGenerator;
+use corrfade::{ChannelStream, RealtimeGenerator, SampleBlock};
 use corrfade_bench::report;
 use corrfade_specfun::bessel_j0;
 use corrfade_stats::{max_autocorrelation_deviation, normalized_autocorrelation};
@@ -23,13 +23,16 @@ fn main() {
         cfg.normalized_doppler = fm;
         let mut gen = RealtimeGenerator::new(cfg).unwrap();
 
-        // Average the per-envelope autocorrelation over several blocks.
+        // Average the per-envelope autocorrelation over several blocks,
+        // streamed into one reused planar block.
         let blocks = 8;
         let mut acc = vec![0.0f64; max_lag + 1];
+        let mut block = SampleBlock::empty();
         for _ in 0..blocks {
-            let block = gen.generate_block();
-            for path in &block.gaussian_paths {
-                let rho = normalized_autocorrelation(path, max_lag);
+            gen.next_block_into(&mut block)
+                .expect("valid configuration");
+            for j in 0..block.envelopes() {
+                let rho = normalized_autocorrelation(block.path(j), max_lag);
                 for (a, r) in acc.iter_mut().zip(rho.iter()) {
                     *a += r;
                 }

@@ -11,9 +11,8 @@
 
 use corrfade::RealtimeGenerator;
 use corrfade_baselines::SorooshyariDautRealtimeGenerator;
-use corrfade_bench::report;
-use corrfade_linalg::Complex64;
-use corrfade_stats::{relative_frobenius_error, sample_covariance_from_paths};
+use corrfade_bench::{report, stream_covariance};
+use corrfade_stats::relative_frobenius_error;
 
 const IDFT_SIZE: usize = 2048;
 const BLOCKS: usize = 20;
@@ -40,27 +39,23 @@ fn main() {
 
     let mut rows = Vec::new();
     for &fm in &[0.01f64, 0.02, 0.05, 0.1, 0.2] {
+        // Both combinations are driven through the identical ChannelStream
+        // interface: blocks stream into a pooled planar buffer and the
+        // covariance is folded straight from the planar data.
+
         // Proposed algorithm (variance-aware).
         let mut cfg = scenario.realtime_config(0xE8).expect("valid scenario");
         cfg.idft_size = IDFT_SIZE;
         cfg.normalized_doppler = fm;
         cfg.sigma_orig_sq = SIGMA_ORIG_SQ;
         let mut proposed = RealtimeGenerator::new(cfg).unwrap();
-        let block = proposed.generate_blocks(BLOCKS);
-        let k_proposed = sample_covariance_from_paths(&block.gaussian_paths);
+        let k_proposed = stream_covariance(&mut proposed, BLOCKS);
         let err_proposed = relative_frobenius_error(&k_proposed, &k);
 
         // Ref. [6] combination (assumes unit variance).
         let mut flawed =
             SorooshyariDautRealtimeGenerator::new(&k, IDFT_SIZE, fm, SIGMA_ORIG_SQ, 0xE8).unwrap();
-        let mut paths: Vec<Vec<Complex64>> = vec![Vec::new(); 3];
-        for _ in 0..BLOCKS {
-            let b = flawed.generate_block();
-            for j in 0..3 {
-                paths[j].extend_from_slice(&b[j]);
-            }
-        }
-        let k_flawed = sample_covariance_from_paths(&paths);
+        let k_flawed = stream_covariance(&mut flawed, BLOCKS);
         let err_flawed = relative_frobenius_error(&k_flawed, &k);
 
         let sigma_g_sq = proposed.doppler_output_variance();

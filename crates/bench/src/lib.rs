@@ -13,7 +13,7 @@
 
 #![warn(missing_docs)]
 
-use corrfade::{RealtimeConfig, RealtimeGenerator};
+use corrfade::{ChannelStream, RealtimeConfig, RealtimeGenerator, SampleBlock};
 use corrfade_linalg::{CMatrix, Complex64};
 use corrfade_models::{paper_covariance_matrix_22, paper_covariance_matrix_23};
 
@@ -57,25 +57,69 @@ pub fn reported_spatial_covariance() -> CMatrix {
 /// Generates the first `samples` time samples of the paper's Fig.-4-style
 /// experiment for the given covariance matrix (real-time mode, paper
 /// parameters) and returns the envelope paths in dB around RMS — exactly the
-/// quantity plotted in Fig. 4.
+/// quantity plotted in Fig. 4. Streams one planar block and reads the lazy
+/// envelope view.
 pub fn fig4_envelope_traces(covariance: CMatrix, samples: usize, seed: u64) -> Vec<Vec<f64>> {
     let mut gen = RealtimeGenerator::new(paper_realtime_config(covariance, seed))
         .expect("paper configuration is valid");
-    let block = gen.generate_block();
-    block
-        .envelope_paths
-        .iter()
-        .map(|path| corrfade_stats::envelope_db_around_rms(&path[..samples.min(path.len())]))
+    let mut block = SampleBlock::empty();
+    gen.next_block_into(&mut block)
+        .expect("streaming is infallible after construction");
+    (0..block.envelopes())
+        .map(|j| {
+            let path = block.envelope_path(j);
+            corrfade_stats::envelope_db_around_rms(&path[..samples.min(path.len())])
+        })
         .collect()
 }
 
 /// Concatenates several real-time blocks into per-envelope complex paths —
 /// the raw material for the covariance / autocorrelation measurements of
-/// experiments E3, E4 and E6.
+/// experiments E3, E4 and E6. One planar block is streamed into repeatedly;
+/// only the concatenated output paths are materialized.
 pub fn realtime_paths(covariance: CMatrix, blocks: usize, seed: u64) -> Vec<Vec<Complex64>> {
     let mut gen = RealtimeGenerator::new(paper_realtime_config(covariance, seed))
         .expect("paper configuration is valid");
-    gen.generate_blocks(blocks).gaussian_paths
+    collect_stream_paths(&mut gen, blocks)
+}
+
+/// Drives any [`ChannelStream`] for `blocks` blocks through one pooled
+/// planar buffer and concatenates the per-envelope complex paths.
+pub fn collect_stream_paths<S: ChannelStream + ?Sized>(
+    stream: &mut S,
+    blocks: usize,
+) -> Vec<Vec<Complex64>> {
+    let n = stream.dimension();
+    let mut paths: Vec<Vec<Complex64>> = vec![Vec::new(); n];
+    let mut block = SampleBlock::empty();
+    for _ in 0..blocks {
+        stream
+            .next_block_into(&mut block)
+            .expect("in-tree streams are infallible after construction");
+        for (j, path) in paths.iter_mut().enumerate() {
+            path.extend_from_slice(block.path(j));
+        }
+    }
+    paths
+}
+
+/// Estimates the sample covariance of any [`ChannelStream`] over `blocks`
+/// blocks, folding the accumulator straight from the pooled planar buffer —
+/// nothing but the `N × N` accumulator is materialized.
+pub fn stream_covariance<S: ChannelStream + ?Sized>(stream: &mut S, blocks: usize) -> CMatrix {
+    let n = stream.dimension();
+    let mut acc = CMatrix::zeros(n, n);
+    let mut block = SampleBlock::empty();
+    let mut total = 0usize;
+    for _ in 0..blocks {
+        stream
+            .next_block_into(&mut block)
+            .expect("in-tree streams are infallible after construction");
+        block.accumulate_covariance(&mut acc);
+        total += block.samples();
+    }
+    assert!(total > 0, "stream_covariance: zero samples streamed");
+    acc.scale_real(1.0 / total as f64)
 }
 
 #[cfg(test)]
@@ -110,5 +154,17 @@ mod tests {
         let paths = realtime_paths(k.clone(), 6, 3);
         let khat = corrfade_stats::sample_covariance_from_paths(&paths);
         assert!(relative_frobenius_error(&khat, &k) < 0.15);
+    }
+
+    #[test]
+    fn stream_covariance_matches_materialized_paths() {
+        let k = reported_spatial_covariance();
+        let cfg = paper_realtime_config(k.clone(), 9);
+        let mut a = RealtimeGenerator::new(cfg.clone()).unwrap();
+        let mut b = RealtimeGenerator::new(cfg).unwrap();
+        let paths = collect_stream_paths(&mut a, 4);
+        let from_paths = corrfade_stats::sample_covariance_from_paths(&paths);
+        let streamed = stream_covariance(&mut b, 4);
+        assert!(streamed.approx_eq(&from_paths, 1e-10));
     }
 }

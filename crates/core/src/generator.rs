@@ -15,11 +15,12 @@
 //! calls are independent over time (the correlated-in-time variant is
 //! [`crate::realtime::RealtimeGenerator`]).
 
-use corrfade_linalg::{CMatrix, Complex64};
+use corrfade_linalg::{CMatrix, Complex64, SampleBlock};
 use corrfade_randn::{ComplexGaussian, RandomStream};
 
 use crate::coloring::{eigen_coloring, Coloring};
 use crate::error::CorrfadeError;
+use crate::stream::ChannelStream;
 
 /// One draw of the generator: the correlated complex Gaussian vector `Z` and
 /// its Rayleigh envelopes `|Z|`.
@@ -45,6 +46,11 @@ impl Sample {
 
 /// Generator of correlated Rayleigh fading envelopes at independent time
 /// instants — the proposed algorithm of Sec. 4.4.
+///
+/// Also implements [`ChannelStream`] by batching
+/// [`Self::stream_block_len`] independent snapshots into one planar block
+/// per call, so single-instant and real-time generation (and the baselines)
+/// can be driven — and compared — through the same streaming interface.
 #[derive(Debug, Clone)]
 pub struct CorrelatedRayleighGenerator {
     coloring: Coloring,
@@ -52,6 +58,13 @@ pub struct CorrelatedRayleighGenerator {
     driving_variance: f64,
     rng: RandomStream,
     gaussian: ComplexGaussian,
+    /// Snapshots per [`ChannelStream`] block.
+    stream_block_len: usize,
+    /// Per-snapshot white vector `W` scratch.
+    w: Vec<Complex64>,
+    /// Per-snapshot colored vector `Z` scratch (streaming path only; the
+    /// legacy sampling methods write into caller-owned buffers).
+    z: Vec<Complex64>,
 }
 
 impl CorrelatedRayleighGenerator {
@@ -93,7 +106,36 @@ impl CorrelatedRayleighGenerator {
             driving_variance,
             rng: RandomStream::new(seed),
             gaussian: ComplexGaussian::default(),
+            stream_block_len: Self::DEFAULT_STREAM_BLOCK_LEN,
+            w: Vec::new(),
+            z: Vec::new(),
         })
+    }
+
+    /// Default number of snapshots batched into one [`ChannelStream`] block.
+    pub const DEFAULT_STREAM_BLOCK_LEN: usize = 1024;
+
+    /// Number of independent snapshots batched into each block produced
+    /// through [`ChannelStream`].
+    #[must_use]
+    pub fn stream_block_len(&self) -> usize {
+        self.stream_block_len
+    }
+
+    /// Sets the [`ChannelStream`] batch length.
+    ///
+    /// # Panics
+    /// Panics if `len` is zero.
+    pub fn set_stream_block_len(&mut self, len: usize) {
+        assert!(len > 0, "stream block length must be positive");
+        self.stream_block_len = len;
+    }
+
+    /// Builder-style variant of [`Self::set_stream_block_len`].
+    #[must_use]
+    pub fn with_stream_block_len(mut self, len: usize) -> Self {
+        self.set_stream_block_len(len);
+        self
     }
 
     /// Number of envelopes `N`.
@@ -152,13 +194,39 @@ impl CorrelatedRayleighGenerator {
             .collect()
     }
 
+    /// Draws the next correlated complex Gaussian vector `Z` (step 6 + 7)
+    /// into a caller-owned buffer, using only internal scratch — the
+    /// allocation-free primitive behind both the legacy sampling methods and
+    /// the [`ChannelStream`] implementation.
+    ///
+    /// # Panics
+    /// Panics if `out.len()` differs from the generator dimension.
+    pub fn sample_gaussian_into(&mut self, out: &mut [Complex64]) {
+        let n = self.coloring.dimension();
+        assert_eq!(
+            out.len(),
+            n,
+            "sample_gaussian_into: expected a buffer of length {n}, got {}",
+            out.len()
+        );
+        self.w.resize(n, Complex64::ZERO);
+        let variance = self.driving_variance;
+        let Self {
+            rng, gaussian, w, ..
+        } = self;
+        gaussian.fill(rng, w, variance);
+        self.coloring.matrix.matvec_into(&self.w, out);
+        let scale = 1.0 / variance.sqrt();
+        for zj in out.iter_mut() {
+            *zj = zj.scale(scale);
+        }
+    }
+
     /// Draws the next correlated complex Gaussian vector `Z` (step 6 + 7).
     pub fn sample_gaussian(&mut self) -> Vec<Complex64> {
-        let n = self.dimension();
-        let w = self
-            .gaussian
-            .sample_vec(&mut self.rng, n, self.driving_variance);
-        self.color(&w, self.driving_variance)
+        let mut out = vec![Complex64::ZERO; self.dimension()];
+        self.sample_gaussian_into(&mut out);
+        out
     }
 
     /// Draws the next sample (complex Gaussians and their Rayleigh
@@ -182,14 +250,55 @@ impl CorrelatedRayleighGenerator {
     /// plots).
     pub fn generate_envelope_paths(&mut self, count: usize) -> Vec<Vec<f64>> {
         let n = self.dimension();
+        let mut z = vec![Complex64::ZERO; n];
         let mut paths = vec![Vec::with_capacity(count); n];
         for _ in 0..count {
-            let z = self.sample_gaussian();
+            self.sample_gaussian_into(&mut z);
             for (j, path) in paths.iter_mut().enumerate() {
                 path.push(z[j].abs());
             }
         }
         paths
+    }
+}
+
+impl ChannelStream for CorrelatedRayleighGenerator {
+    fn dimension(&self) -> usize {
+        self.coloring.dimension()
+    }
+
+    /// The configured snapshot batch size — see
+    /// [`CorrelatedRayleighGenerator::stream_block_len`].
+    fn block_len(&self) -> usize {
+        self.stream_block_len
+    }
+
+    /// Batches `block_len()` independent snapshots into one planar block:
+    /// sample `l` of the block is the `l`-th snapshot, drawn in exactly the
+    /// order of repeated [`CorrelatedRayleighGenerator::sample_gaussian`]
+    /// calls (bit-identical for equal seeds).
+    fn next_block_into(&mut self, block: &mut SampleBlock) -> Result<(), CorrfadeError> {
+        let n = self.coloring.dimension();
+        let m = self.stream_block_len;
+        block.resize(n, m);
+        self.w.resize(n, Complex64::ZERO);
+        self.z.resize(n, Complex64::ZERO);
+        let variance = self.driving_variance;
+        let scale = 1.0 / variance.sqrt();
+        for l in 0..m {
+            {
+                let Self {
+                    rng, gaussian, w, ..
+                } = self;
+                gaussian.fill(rng, w, variance);
+            }
+            self.coloring.matrix.matvec_into(&self.w, &mut self.z);
+            let data = block.as_mut_slice();
+            for j in 0..n {
+                data[j * m + l] = self.z[j].scale(scale);
+            }
+        }
+        Ok(())
     }
 }
 
@@ -318,6 +427,33 @@ mod tests {
         // Converges to the forced matrix, not (and necessarily not) to K.
         assert!(relative_frobenius_error(&khat, &forced) < 0.03);
         assert!(relative_frobenius_error(&forced, &k) > 0.01);
+    }
+
+    #[test]
+    fn streaming_batches_match_snapshot_draws_bit_for_bit() {
+        let k = paper_covariance_matrix_22();
+        let mut snap = CorrelatedRayleighGenerator::new(k.clone(), 31).unwrap();
+        let mut stream = CorrelatedRayleighGenerator::new(k, 31)
+            .unwrap()
+            .with_stream_block_len(17);
+        assert_eq!(ChannelStream::block_len(&stream), 17);
+        let snaps = snap.generate_snapshots(2 * 17);
+        let mut block = SampleBlock::empty();
+        for b in 0..2 {
+            stream.next_block_into(&mut block).unwrap();
+            for l in 0..17 {
+                for (j, &expected) in snaps[b * 17 + l].iter().enumerate() {
+                    assert_eq!(block.path(j)[l], expected);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "stream block length must be positive")]
+    fn zero_stream_block_len_rejected() {
+        let mut g = CorrelatedRayleighGenerator::new(paper_covariance_matrix_22(), 1).unwrap();
+        g.set_stream_block_len(0);
     }
 
     #[test]

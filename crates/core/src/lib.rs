@@ -21,6 +21,11 @@
 //!   variance change (Eq. 19) fed into the coloring step. Paper Sec. 5,
 //!   Fig. 3.
 //!
+//! Both modes (and the conventional baselines in `corrfade-baselines`)
+//! implement the zero-allocation streaming interface [`ChannelStream`],
+//! which writes blocks into caller-owned planar [`SampleBlock`] buffers —
+//! see the [`stream`] module for the streaming quick start.
+//!
 //! ## Pipeline
 //!
 //! ```text
@@ -64,6 +69,7 @@ pub mod generator;
 pub mod power;
 pub mod psd;
 pub mod realtime;
+pub mod stream;
 
 pub use builder::GeneratorBuilder;
 pub use coloring::{cholesky_coloring, eigen_coloring, Coloring};
@@ -72,6 +78,12 @@ pub use generator::{CorrelatedRayleighGenerator, Sample};
 pub use power::PowerSpec;
 pub use psd::{force_positive_semidefinite, validate_covariance, PsdForcing};
 pub use realtime::{RealtimeBlock, RealtimeConfig, RealtimeGenerator};
+pub use stream::ChannelStream;
+
+// The planar block buffers the streaming API writes into live in the linalg
+// crate (they are pure data layout); re-export them so `corrfade` alone is
+// enough to drive a `ChannelStream`.
+pub use corrfade_linalg::{BlockView, SampleBlock};
 
 // Re-export the sibling crates under stable names so downstream users can
 // depend on `corrfade` alone.

@@ -22,11 +22,12 @@
 //! flawed variant is reproduced in `corrfade-baselines` for the E8 ablation.
 
 use corrfade_dsp::{DopplerFilter, IdftRayleighGenerator};
-use corrfade_linalg::{CMatrix, Complex64};
+use corrfade_linalg::{CMatrix, Complex64, SampleBlock};
 use corrfade_randn::RandomStream;
 
 use crate::coloring::{eigen_coloring, Coloring};
 use crate::error::CorrfadeError;
+use crate::stream::ChannelStream;
 
 /// Configuration of the real-time generator.
 #[derive(Debug, Clone)]
@@ -89,6 +90,14 @@ impl RealtimeBlock {
 
 /// Generator of `N` correlated, Doppler-band-limited Rayleigh fading
 /// processes (paper Fig. 3).
+///
+/// The streaming entry point is [`ChannelStream::next_block_into`], which
+/// writes `Z[l] = L·W[l]/σ_g` directly into a caller-owned planar
+/// [`SampleBlock`] and keeps all working memory (the `N × M` Doppler
+/// scratch, the per-instant `W`/`Z` vectors) inside the generator — zero
+/// heap allocation per block in steady state. [`Self::generate_block`] and
+/// [`Self::generate_blocks`] remain as thin compatibility wrappers that
+/// materialize the legacy [`RealtimeBlock`] layout.
 #[derive(Debug, Clone)]
 pub struct RealtimeGenerator {
     coloring: Coloring,
@@ -96,6 +105,12 @@ pub struct RealtimeGenerator {
     idft: IdftRayleighGenerator,
     sigma_g_sq: f64,
     rng: RandomStream,
+    /// Planar `N × M` scratch for the raw Doppler sequences `u_j[l]`.
+    raw: Vec<Complex64>,
+    /// Per-instant input vector `W[l]` scratch.
+    w: Vec<Complex64>,
+    /// Per-instant output vector `Z[l]` scratch.
+    z: Vec<Complex64>,
 }
 
 impl RealtimeGenerator {
@@ -104,6 +119,17 @@ impl RealtimeGenerator {
     /// filter and precomputes the Eq.-19 output variance.
     pub fn new(config: RealtimeConfig) -> Result<Self, CorrfadeError> {
         let coloring = eigen_coloring(&config.covariance)?;
+        Self::from_coloring(coloring, config)
+    }
+
+    /// Assembles a generator from a precomputed coloring of
+    /// `config.covariance` — lets callers that spin up many generators for
+    /// the same covariance matrix (e.g. the parallel engine, one RNG
+    /// sub-stream per block) pay for the eigendecomposition once.
+    pub fn from_coloring(
+        coloring: Coloring,
+        config: RealtimeConfig,
+    ) -> Result<Self, CorrfadeError> {
         let filter = DopplerFilter::new(config.idft_size, config.normalized_doppler)?;
         let idft = IdftRayleighGenerator::new(filter, config.sigma_orig_sq)?;
         let sigma_g_sq = idft.output_variance();
@@ -113,7 +139,22 @@ impl RealtimeGenerator {
             idft,
             sigma_g_sq,
             rng: RandomStream::new(config.seed),
+            raw: Vec::new(),
+            w: Vec::new(),
+            z: Vec::new(),
         })
+    }
+
+    /// A copy of this generator whose RNG is rewound to a fresh stream for
+    /// `seed` — behaviourally identical to rebuilding with the same
+    /// configuration and the new seed, but without repeating the
+    /// eigendecomposition and filter design.
+    #[must_use]
+    pub fn reseeded(&self, seed: u64) -> Self {
+        Self {
+            rng: RandomStream::new(seed),
+            ..self.clone()
+        }
     }
 
     /// Number of envelopes `N`.
@@ -152,61 +193,96 @@ impl RealtimeGenerator {
         &self.coloring
     }
 
-    /// Generates one block of `M` consecutive time samples of all `N`
-    /// correlated fading processes.
-    pub fn generate_block(&mut self) -> RealtimeBlock {
-        let n = self.dimension();
-        let m = self.block_len();
+    /// The streaming hot path behind [`ChannelStream::next_block_into`]:
+    /// runs the `N` Doppler generators into the planar scratch, then writes
+    /// `Z[l] = L·W[l]/σ_g` straight into the destination block. No heap
+    /// allocation once the scratch and the destination block are warm.
+    fn fill_block(&mut self, block: &mut SampleBlock) {
+        let n = self.coloring.dimension();
+        let m = self.idft.filter().len();
+        block.resize(n, m);
+        self.raw.resize(n * m, Complex64::ZERO);
+        self.w.resize(n, Complex64::ZERO);
+        self.z.resize(n, Complex64::ZERO);
 
-        // Step 2–5 of the Sec. 5 algorithm: N independent Doppler-shaped
-        // sequences, one per envelope.
-        let raw: Vec<Vec<Complex64>> = (0..n).map(|_| self.idft.generate(&mut self.rng)).collect();
+        // Steps 2–5 of the Sec. 5 algorithm: N independent Doppler-shaped
+        // sequences, one per envelope, planar in the scratch buffer.
+        for j in 0..n {
+            self.idft
+                .generate_into(&mut self.rng, &mut self.raw[j * m..(j + 1) * m]);
+        }
 
         // Steps 6–8: at every time instant, color the vector of generator
         // outputs with the Eq.-19 variance.
         let scale = 1.0 / self.sigma_g_sq.sqrt();
-        let mut gaussian_paths = vec![Vec::with_capacity(m); n];
-        let mut w = vec![Complex64::ZERO; n];
+        let data = block.as_mut_slice();
         for l in 0..m {
-            for (wj, raw_j) in w.iter_mut().zip(&raw) {
-                *wj = raw_j[l];
-            }
-            let z = self.coloring.matrix.matvec(&w);
             for j in 0..n {
-                gaussian_paths[j].push(z[j].scale(scale));
+                self.w[j] = self.raw[j * m + l];
+            }
+            self.coloring.matrix.matvec_into(&self.w, &mut self.z);
+            for j in 0..n {
+                data[j * m + l] = self.z[j].scale(scale);
             }
         }
+    }
 
-        let envelope_paths = gaussian_paths
-            .iter()
-            .map(|path| path.iter().map(|z| z.abs()).collect())
-            .collect();
-
+    /// Generates one block of `M` consecutive time samples of all `N`
+    /// correlated fading processes.
+    ///
+    /// Compatibility wrapper over the streaming path: allocates the legacy
+    /// per-envelope `Vec`s on every call. Prefer
+    /// [`ChannelStream::next_block_into`] with a pooled [`SampleBlock`] on
+    /// hot paths.
+    pub fn generate_block(&mut self) -> RealtimeBlock {
+        let mut block = SampleBlock::empty();
+        self.fill_block(&mut block);
         RealtimeBlock {
-            gaussian_paths,
-            envelope_paths,
+            gaussian_paths: block.to_paths(),
+            envelope_paths: block.to_envelope_paths(),
         }
     }
 
     /// Generates `blocks` consecutive blocks and concatenates them per
     /// envelope (convenience for long Monte-Carlo runs).
+    ///
+    /// Compatibility wrapper over the streaming path; one internal
+    /// [`SampleBlock`] is reused across all blocks and each block's lazily
+    /// computed envelopes are appended directly — the envelopes are not
+    /// recomputed over the concatenated paths.
     pub fn generate_blocks(&mut self, blocks: usize) -> RealtimeBlock {
         let n = self.dimension();
         let mut gaussian_paths: Vec<Vec<Complex64>> = vec![Vec::new(); n];
+        let mut envelope_paths: Vec<Vec<f64>> = vec![Vec::new(); n];
+        let mut block = SampleBlock::empty();
         for _ in 0..blocks {
-            let b = self.generate_block();
-            for (path, block_path) in gaussian_paths.iter_mut().zip(&b.gaussian_paths) {
-                path.extend_from_slice(block_path);
+            self.fill_block(&mut block);
+            for (j, path) in gaussian_paths.iter_mut().enumerate() {
+                path.extend_from_slice(block.path(j));
+            }
+            for (j, path) in envelope_paths.iter_mut().enumerate() {
+                path.extend_from_slice(block.envelope_path(j));
             }
         }
-        let envelope_paths = gaussian_paths
-            .iter()
-            .map(|path| path.iter().map(|z| z.abs()).collect())
-            .collect();
         RealtimeBlock {
             gaussian_paths,
             envelope_paths,
         }
+    }
+}
+
+impl ChannelStream for RealtimeGenerator {
+    fn dimension(&self) -> usize {
+        self.coloring.dimension()
+    }
+
+    fn block_len(&self) -> usize {
+        self.idft.filter().len()
+    }
+
+    fn next_block_into(&mut self, block: &mut SampleBlock) -> Result<(), CorrfadeError> {
+        self.fill_block(block);
+        Ok(())
     }
 }
 
@@ -345,6 +421,56 @@ mod tests {
                 "sigma_orig_sq {sigma_orig_sq}: relative covariance error {err}"
             );
         }
+    }
+
+    #[test]
+    fn streaming_is_bit_identical_to_legacy_wrappers() {
+        let k = paper_covariance_matrix_22();
+        let mut legacy = RealtimeGenerator::new(small_config(k.clone(), 77)).unwrap();
+        let mut streaming = RealtimeGenerator::new(small_config(k, 77)).unwrap();
+        let reference = legacy.generate_blocks(3);
+        let mut block = SampleBlock::empty();
+        let mut offset = 0;
+        for _ in 0..3 {
+            streaming.next_block_into(&mut block).unwrap();
+            let m = block.samples();
+            for j in 0..3 {
+                assert_eq!(
+                    &reference.gaussian_paths[j][offset..offset + m],
+                    block.path(j)
+                );
+                assert_eq!(
+                    &reference.envelope_paths[j][offset..offset + m],
+                    block.envelope_path(j)
+                );
+            }
+            offset += m;
+        }
+    }
+
+    #[test]
+    fn reseeded_matches_fresh_generator() {
+        let k = paper_covariance_matrix_23();
+        let mut used = RealtimeGenerator::new(small_config(k.clone(), 5)).unwrap();
+        let _ = used.generate_block(); // advance the RNG
+        let mut reseeded = used.reseeded(9);
+        let mut fresh = RealtimeGenerator::new(small_config(k, 9)).unwrap();
+        assert_eq!(
+            reseeded.generate_block().gaussian_paths,
+            fresh.generate_block().gaussian_paths
+        );
+    }
+
+    #[test]
+    fn from_coloring_shares_the_decomposition() {
+        let k = paper_covariance_matrix_22();
+        let coloring = crate::coloring::eigen_coloring(&k).unwrap();
+        let mut a = RealtimeGenerator::from_coloring(coloring, small_config(k.clone(), 3)).unwrap();
+        let mut b = RealtimeGenerator::new(small_config(k, 3)).unwrap();
+        assert_eq!(
+            a.generate_block().gaussian_paths,
+            b.generate_block().gaussian_paths
+        );
     }
 
     #[test]

@@ -23,7 +23,7 @@ use corrfade_specfun::bessel_j0;
 use rand::Rng;
 
 use crate::error::DspError;
-use crate::fft::ifft;
+use crate::fft::{ifft, ifft_in_place};
 
 /// Young's Doppler filter (paper Eq. 21): the square root of a discretized
 /// Jakes power spectral density, with the band-edge bins adjusted so that the
@@ -208,17 +208,36 @@ impl IdftRayleighGenerator {
     /// The envelope `|u[l]|` is Rayleigh distributed and the sequence has the
     /// autocorrelation of Eq. (16).
     pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<Complex64> {
+        let mut out = vec![Complex64::ZERO; self.filter.len()];
+        self.generate_into(rng, &mut out);
+        out
+    }
+
+    /// Generates one fading sequence directly into a caller-owned buffer:
+    /// the Doppler-weighted spectrum is written into `out` and transformed
+    /// in place, so for power-of-two `M` the call performs **no heap
+    /// allocation**. Numerically (and RNG-stream) identical to
+    /// [`IdftRayleighGenerator::generate`].
+    ///
+    /// # Panics
+    /// Panics if `out.len()` differs from the filter length `M`.
+    pub fn generate_into<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [Complex64]) {
         let m = self.filter.len();
+        assert_eq!(
+            out.len(),
+            m,
+            "generate_into: buffer length {} does not match IDFT size {m}",
+            out.len()
+        );
         let std = self.sigma_orig_sq.sqrt();
-        let mut spectrum = Vec::with_capacity(m);
         // Draw A[k], B[k] ~ N(0, σ²_orig) i.i.d. and weight by F[k].
         let mut sampler = corrfade_randn::NormalSampler::default();
-        for &f in self.filter.coefficients() {
+        for (slot, &f) in out.iter_mut().zip(self.filter.coefficients()) {
             let a = sampler.sample_with(rng, 0.0, std);
             let b = sampler.sample_with(rng, 0.0, std);
-            spectrum.push(c64(f * a, -f * b));
+            *slot = c64(f * a, -f * b);
         }
-        ifft(&spectrum)
+        ifft_in_place(out);
     }
 }
 
@@ -385,6 +404,27 @@ mod tests {
                 rho_theory[d]
             );
         }
+    }
+
+    #[test]
+    fn generate_into_is_bit_identical_to_generate() {
+        for m in [1024usize, 1000] {
+            let f = DopplerFilter::new(m, 0.05).unwrap();
+            let gen = IdftRayleighGenerator::new(f, 0.5).unwrap();
+            let a = gen.generate(&mut RandomStream::new(11));
+            let mut b = vec![Complex64::ZERO; m];
+            gen.generate_into(&mut RandomStream::new(11), &mut b);
+            assert_eq!(a, b, "m = {m}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match IDFT size")]
+    fn generate_into_checks_buffer_length() {
+        let f = DopplerFilter::new(1024, 0.05).unwrap();
+        let gen = IdftRayleighGenerator::new(f, 0.5).unwrap();
+        let mut short = vec![Complex64::ZERO; 512];
+        gen.generate_into(&mut RandomStream::new(1), &mut short);
     }
 
     #[test]

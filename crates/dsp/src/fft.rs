@@ -143,6 +143,30 @@ pub fn ifft(input: &[Complex64]) -> Vec<Complex64> {
     out
 }
 
+/// In-place inverse DFT: overwrites `data` with its inverse transform
+/// (including the `1/N` factor), numerically identical to [`ifft`].
+///
+/// For power-of-two lengths — the common case; the paper uses `M = 4096` —
+/// this performs **no heap allocation**, which is what the streaming
+/// generation hot path relies on. Other lengths fall back to the
+/// (allocating) Bluestein transform and copy the result back.
+pub fn ifft_in_place(data: &mut [Complex64]) {
+    let n = data.len();
+    if n == 0 {
+        return;
+    }
+    if is_power_of_two(n) {
+        fft_radix2_in_place(data, true);
+        let scale = 1.0 / n as f64;
+        for z in data.iter_mut() {
+            *z = z.scale(scale);
+        }
+    } else {
+        let out = ifft(data);
+        data.copy_from_slice(&out);
+    }
+}
+
 /// Naive `O(N²)` forward DFT — reference implementation used by the tests to
 /// validate the fast transforms.
 pub fn dft_naive(input: &[Complex64]) -> Vec<Complex64> {
@@ -313,6 +337,23 @@ mod tests {
             .map(|(&a, &b)| (a - b).abs())
             .fold(0.0, f64::max);
         assert!(err < 1e-9, "max round-trip error {err}");
+    }
+
+    #[test]
+    fn ifft_in_place_matches_ifft() {
+        for n in [1usize, 8, 256, 12, 100] {
+            let x = test_signal(n);
+            let expected = ifft(&x);
+            let mut data = x.clone();
+            ifft_in_place(&mut data);
+            // Power-of-two lengths share the exact code path, so the results
+            // are bit-identical; Bluestein lengths go through the same
+            // fallback and are too.
+            assert_eq!(data, expected, "n = {n}");
+        }
+        let mut empty: Vec<Complex64> = Vec::new();
+        ifft_in_place(&mut empty);
+        assert!(empty.is_empty());
     }
 
     #[test]

@@ -17,4 +17,4 @@ pub mod fft;
 
 pub use doppler::{DopplerFilter, IdftRayleighGenerator};
 pub use error::DspError;
-pub use fft::{dft_naive, fft, fft_real, ifft, is_power_of_two};
+pub use fft::{dft_naive, fft, fft_real, ifft, ifft_in_place, is_power_of_two};

@@ -1,0 +1,472 @@
+//! Planar, caller-owned sample buffers for streaming generation.
+//!
+//! Every generator in the workspace produces blocks of `N` correlated
+//! envelope processes observed over `M` time samples. Materializing each
+//! block as a fresh `Vec<Vec<Complex64>>` (one heap allocation per envelope
+//! per block, plus a redundant envelope copy) caps throughput and makes
+//! serving many concurrent channel simulations impossible. [`SampleBlock`]
+//! fixes the data layout instead:
+//!
+//! * one contiguous `Vec<Complex64>` holding the `N × M` complex Gaussian
+//!   samples **planar** (envelope-major): sample `l` of envelope `j` lives at
+//!   index `j·M + l`, so each envelope path is a contiguous slice,
+//! * a **lazy** envelope (modulus) view computed on demand and cached until
+//!   the complex data is mutably borrowed again,
+//! * capacity-reusing [`SampleBlock::resize`] so a block pooled by a caller
+//!   (or a worker thread) performs **zero heap allocation** in steady state.
+//!
+//! The streaming trait that fills these buffers (`ChannelStream`) lives in
+//! the `corrfade` core crate; this module only owns the data layout.
+
+use crate::complex::Complex64;
+use crate::matrix::CMatrix;
+
+/// A planar `N × M` block of complex Gaussian fading samples with a lazily
+/// computed envelope view.
+///
+/// The complex data is envelope-major: [`SampleBlock::path`]`(j)` is the
+/// contiguous time series of envelope `j`. See the [module
+/// docs](self) for the layout rationale.
+#[derive(Debug, Clone, Default)]
+pub struct SampleBlock {
+    envelopes: usize,
+    samples: usize,
+    data: Vec<Complex64>,
+    /// Cached `|z|` values in the same planar layout; only meaningful while
+    /// `env_valid` holds.
+    env: Vec<f64>,
+    env_valid: bool,
+}
+
+impl SampleBlock {
+    /// Creates a zero-filled block of `envelopes × samples` complex samples.
+    #[must_use]
+    pub fn new(envelopes: usize, samples: usize) -> Self {
+        Self {
+            envelopes,
+            samples,
+            data: vec![Complex64::ZERO; envelopes * samples],
+            env: Vec::new(),
+            env_valid: false,
+        }
+    }
+
+    /// Creates an empty `0 × 0` block — the natural starting state for a
+    /// pooled buffer that a `ChannelStream` will size on first use.
+    #[must_use]
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Number of envelope processes `N`.
+    #[must_use]
+    pub fn envelopes(&self) -> usize {
+        self.envelopes
+    }
+
+    /// Number of time samples `M` per envelope.
+    #[must_use]
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// `true` when the block holds no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Total number of complex samples, `N·M`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Resizes the block to `envelopes × samples`, **reusing the existing
+    /// allocation** whenever the new size fits the current capacity. The
+    /// sample contents are unspecified after a shape change; the envelope
+    /// cache is invalidated.
+    pub fn resize(&mut self, envelopes: usize, samples: usize) {
+        let new_len = envelopes * samples;
+        if self.envelopes == envelopes && self.samples == samples {
+            return;
+        }
+        self.data.resize(new_len, Complex64::ZERO);
+        self.envelopes = envelopes;
+        self.samples = samples;
+        self.env_valid = false;
+    }
+
+    /// The contiguous time series of envelope `j`.
+    ///
+    /// # Panics
+    /// Panics if `j >= self.envelopes()`.
+    #[must_use]
+    pub fn path(&self, j: usize) -> &[Complex64] {
+        assert!(
+            j < self.envelopes,
+            "path: envelope index {j} out of range (N = {})",
+            self.envelopes
+        );
+        &self.data[j * self.samples..(j + 1) * self.samples]
+    }
+
+    /// Mutable access to the time series of envelope `j`. Invalidates the
+    /// envelope cache.
+    ///
+    /// # Panics
+    /// Panics if `j >= self.envelopes()`.
+    pub fn path_mut(&mut self, j: usize) -> &mut [Complex64] {
+        assert!(
+            j < self.envelopes,
+            "path_mut: envelope index {j} out of range (N = {})",
+            self.envelopes
+        );
+        self.env_valid = false;
+        &mut self.data[j * self.samples..(j + 1) * self.samples]
+    }
+
+    /// The whole planar buffer (envelope-major): sample `l` of envelope `j`
+    /// is at index `j·samples + l`.
+    #[must_use]
+    pub fn as_slice(&self) -> &[Complex64] {
+        &self.data
+    }
+
+    /// Mutable access to the whole planar buffer. Invalidates the envelope
+    /// cache.
+    pub fn as_mut_slice(&mut self) -> &mut [Complex64] {
+        self.env_valid = false;
+        &mut self.data
+    }
+
+    /// The Rayleigh envelope `|z|` series of envelope `j`, computing the
+    /// cached envelope view on first use after a mutation.
+    #[must_use]
+    pub fn envelope_path(&mut self, j: usize) -> &[f64] {
+        assert!(
+            j < self.envelopes,
+            "envelope_path: envelope index {j} out of range (N = {})",
+            self.envelopes
+        );
+        self.ensure_envelopes();
+        &self.env[j * self.samples..(j + 1) * self.samples]
+    }
+
+    /// The whole planar envelope view (`|z|` in the layout of
+    /// [`SampleBlock::as_slice`]), computing it on first use after a
+    /// mutation.
+    #[must_use]
+    pub fn envelope_slice(&mut self) -> &[f64] {
+        self.ensure_envelopes();
+        &self.env
+    }
+
+    fn ensure_envelopes(&mut self) {
+        if self.env_valid {
+            return;
+        }
+        self.env.resize(self.data.len(), 0.0);
+        for (e, z) in self.env.iter_mut().zip(self.data.iter()) {
+            *e = z.abs();
+        }
+        self.env_valid = true;
+    }
+
+    /// Splits the block at time sample `mid` into two read-only views: the
+    /// first covering samples `0..mid`, the second `mid..M` — both still
+    /// planar across all `N` envelopes.
+    ///
+    /// # Panics
+    /// Panics if `mid > self.samples()`.
+    #[must_use]
+    pub fn split_at_sample(&self, mid: usize) -> (BlockView<'_>, BlockView<'_>) {
+        assert!(
+            mid <= self.samples,
+            "split_at_sample: split point {mid} exceeds block length {}",
+            self.samples
+        );
+        (
+            BlockView {
+                data: &self.data,
+                envelopes: self.envelopes,
+                stride: self.samples,
+                offset: 0,
+                samples: mid,
+            },
+            BlockView {
+                data: &self.data,
+                envelopes: self.envelopes,
+                stride: self.samples,
+                offset: mid,
+                samples: self.samples - mid,
+            },
+        )
+    }
+
+    /// A view over the whole block (stride-aware, like the halves of
+    /// [`SampleBlock::split_at_sample`]).
+    #[must_use]
+    pub fn view(&self) -> BlockView<'_> {
+        self.split_at_sample(self.samples).0
+    }
+
+    /// Folds the outer products `Σ_l Z[l]·Z[l]ᴴ` of this block into `acc`
+    /// (an `N × N` accumulator) without materializing any snapshot vector.
+    /// Divide by the accumulated sample count to obtain the sample
+    /// covariance.
+    ///
+    /// The summation runs sample-major (`l` outermost), matching the order
+    /// of `sample_covariance` over materialized snapshots bit for bit.
+    ///
+    /// # Panics
+    /// Panics if `acc` is not `N × N`.
+    pub fn accumulate_covariance(&self, acc: &mut CMatrix) {
+        let n = self.envelopes;
+        let m = self.samples;
+        assert_eq!(
+            acc.shape(),
+            (n, n),
+            "accumulate_covariance: accumulator shape {:?} does not match N = {n}",
+            acc.shape()
+        );
+        for l in 0..m {
+            for a in 0..n {
+                let za = self.data[a * m + l];
+                for b in 0..n {
+                    acc[(a, b)] += za * self.data[b * m + l].conj();
+                }
+            }
+        }
+    }
+
+    /// Copies the block out into the legacy `Vec<Vec<Complex64>>` per-path
+    /// representation (one allocation per envelope — compatibility only; hot
+    /// paths should stay planar).
+    #[must_use]
+    pub fn to_paths(&self) -> Vec<Vec<Complex64>> {
+        (0..self.envelopes).map(|j| self.path(j).to_vec()).collect()
+    }
+
+    /// Copies the block out as `M` snapshot vectors of length `N` —
+    /// sample-major, the transpose of the planar layout (compatibility with
+    /// snapshot-ensemble consumers; hot paths should stay planar).
+    #[must_use]
+    pub fn to_snapshots(&self) -> Vec<Vec<Complex64>> {
+        (0..self.samples)
+            .map(|l| {
+                (0..self.envelopes)
+                    .map(|j| self.data[j * self.samples + l])
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Copies the lazy envelope view out into the legacy `Vec<Vec<f64>>`
+    /// representation (compatibility only).
+    #[must_use]
+    pub fn to_envelope_paths(&mut self) -> Vec<Vec<f64>> {
+        self.ensure_envelopes();
+        (0..self.envelopes)
+            .map(|j| self.env[j * self.samples..(j + 1) * self.samples].to_vec())
+            .collect()
+    }
+}
+
+impl PartialEq for SampleBlock {
+    /// Equality compares shape and complex contents; the lazily cached
+    /// envelope view is ignored.
+    fn eq(&self, other: &Self) -> bool {
+        self.envelopes == other.envelopes
+            && self.samples == other.samples
+            && self.data == other.data
+    }
+}
+
+/// A read-only, stride-aware view of a (part of a) [`SampleBlock`], produced
+/// by [`SampleBlock::split_at_sample`].
+#[derive(Debug, Clone, Copy)]
+pub struct BlockView<'a> {
+    data: &'a [Complex64],
+    envelopes: usize,
+    /// Distance between consecutive envelope rows in `data` (the `M` of the
+    /// underlying block, not of this view).
+    stride: usize,
+    /// First sample of the view within each row.
+    offset: usize,
+    /// Number of samples per envelope in this view.
+    samples: usize,
+}
+
+impl BlockView<'_> {
+    /// Number of envelope processes `N`.
+    #[must_use]
+    pub fn envelopes(&self) -> usize {
+        self.envelopes
+    }
+
+    /// Number of time samples per envelope in this view.
+    #[must_use]
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// `true` when the view covers no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.envelopes == 0 || self.samples == 0
+    }
+
+    /// The (contiguous) time series of envelope `j` within this view.
+    ///
+    /// # Panics
+    /// Panics if `j >= self.envelopes()`.
+    #[must_use]
+    pub fn path(&self, j: usize) -> &[Complex64] {
+        assert!(
+            j < self.envelopes,
+            "path: envelope index {j} out of range (N = {})",
+            self.envelopes
+        );
+        let start = j * self.stride + self.offset;
+        &self.data[start..start + self.samples]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+
+    fn filled(n: usize, m: usize) -> SampleBlock {
+        let mut b = SampleBlock::new(n, m);
+        for j in 0..n {
+            for (l, z) in b.path_mut(j).iter_mut().enumerate() {
+                *z = c64(j as f64 + 1.0, l as f64);
+            }
+        }
+        b
+    }
+
+    #[test]
+    fn shape_and_layout() {
+        let b = filled(3, 5);
+        assert_eq!(b.envelopes(), 3);
+        assert_eq!(b.samples(), 5);
+        assert_eq!(b.len(), 15);
+        assert!(!b.is_empty());
+        assert_eq!(b.path(2)[4], c64(3.0, 4.0));
+        // Planar: path j is data[j*m .. (j+1)*m].
+        assert_eq!(b.as_slice()[2 * 5 + 4], c64(3.0, 4.0));
+    }
+
+    #[test]
+    fn empty_block_is_empty() {
+        let b = SampleBlock::empty();
+        assert!(b.is_empty());
+        assert_eq!(b.envelopes(), 0);
+        assert_eq!(b.samples(), 0);
+    }
+
+    #[test]
+    fn resize_reuses_capacity_and_is_idempotent() {
+        let mut b = SampleBlock::new(4, 100);
+        let cap = b.data.capacity();
+        let ptr = b.data.as_ptr();
+        b.resize(2, 50);
+        b.resize(4, 100);
+        assert_eq!(b.data.capacity(), cap);
+        assert_eq!(b.data.as_ptr(), ptr);
+        // Same-shape resize is a no-op.
+        b.resize(4, 100);
+        assert_eq!(b.len(), 400);
+    }
+
+    #[test]
+    fn envelope_view_is_lazy_and_invalidated_by_mutation() {
+        let mut b = filled(2, 3);
+        let e = b.envelope_path(1).to_vec();
+        for (l, &v) in e.iter().enumerate() {
+            let expected = c64(2.0, l as f64).abs();
+            assert!((v - expected).abs() < 1e-15);
+        }
+        // Mutate, then the view must be recomputed.
+        b.path_mut(1)[0] = c64(30.0, 40.0);
+        assert!((b.envelope_path(1)[0] - 50.0).abs() < 1e-12);
+        // Full planar envelope view agrees with the per-path view.
+        let full = b.envelope_slice().to_vec();
+        assert!((full[3] - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_at_sample_partitions_each_path() {
+        let b = filled(3, 7);
+        let (head, tail) = b.split_at_sample(3);
+        assert_eq!(head.envelopes(), 3);
+        assert_eq!(head.samples(), 3);
+        assert_eq!(tail.samples(), 4);
+        for j in 0..3 {
+            assert_eq!(head.path(j), &b.path(j)[..3]);
+            assert_eq!(tail.path(j), &b.path(j)[3..]);
+        }
+        let (all, none) = b.split_at_sample(7);
+        assert_eq!(all.samples(), 7);
+        assert!(none.is_empty());
+        assert_eq!(b.view().path(1), b.path(1));
+    }
+
+    #[test]
+    fn accumulate_covariance_matches_manual_outer_products() {
+        let b = filled(2, 4);
+        let mut acc = CMatrix::zeros(2, 2);
+        b.accumulate_covariance(&mut acc);
+        let mut expected = CMatrix::zeros(2, 2);
+        for l in 0..4 {
+            for a in 0..2 {
+                for c in 0..2 {
+                    expected[(a, c)] += b.path(a)[l] * b.path(c)[l].conj();
+                }
+            }
+        }
+        assert!(acc.approx_eq(&expected, 0.0));
+    }
+
+    #[test]
+    fn legacy_conversions_round_trip() {
+        let mut b = filled(2, 3);
+        let paths = b.to_paths();
+        assert_eq!(paths.len(), 2);
+        assert_eq!(paths[1], b.path(1).to_vec());
+        let envs = b.to_envelope_paths();
+        assert_eq!(envs[0].len(), 3);
+        assert!((envs[1][0] - b.path(1)[0].abs()).abs() < 1e-15);
+        let snaps = b.to_snapshots();
+        assert_eq!(snaps.len(), 3);
+        assert_eq!(snaps[2], vec![b.path(0)[2], b.path(1)[2]]);
+    }
+
+    #[test]
+    fn equality_ignores_the_envelope_cache() {
+        let mut a = filled(2, 3);
+        let b = filled(2, 3);
+        let _ = a.envelope_path(0);
+        assert_eq!(a, b);
+        let mut c = filled(2, 3);
+        c.path_mut(0)[0] = c64(9.0, 9.0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn path_bounds_checked() {
+        let b = filled(2, 3);
+        let _ = b.path(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "split point")]
+    fn split_bounds_checked() {
+        let b = filled(2, 3);
+        let _ = b.split_at_sample(4);
+    }
+}

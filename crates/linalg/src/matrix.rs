@@ -281,6 +281,32 @@ impl CMatrix {
         y
     }
 
+    /// Matrix–vector product `A·x` written into a caller-owned buffer — the
+    /// allocation-free primitive behind the streaming `Z = L·W/σ_g` hot
+    /// path.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.cols()` or `y.len() != self.rows()`.
+    pub fn matvec_into(&self, x: &[Complex64], y: &mut [Complex64]) {
+        assert_eq!(
+            x.len(),
+            self.cols,
+            "matvec_into: vector length {} does not match cols {}",
+            x.len(),
+            self.cols
+        );
+        assert_eq!(
+            y.len(),
+            self.rows,
+            "matvec_into: output length {} does not match rows {}",
+            y.len(),
+            self.rows
+        );
+        for (i, yi) in y.iter_mut().enumerate() {
+            *yi = vector::dot(self.row_slice(i), x);
+        }
+    }
+
     /// Matrix–matrix product `A·B`.
     ///
     /// # Panics
@@ -657,6 +683,31 @@ impl RMatrix {
         (0..self.rows)
             .map(|i| vector::rdot(self.row_slice(i), x))
             .collect()
+    }
+
+    /// Matrix–vector product `A·x` written into a caller-owned buffer (the
+    /// allocation-free variant of [`RMatrix::matvec`]).
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.cols()` or `y.len() != self.rows()`.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(
+            x.len(),
+            self.cols,
+            "matvec_into: vector length {} does not match cols {}",
+            x.len(),
+            self.cols
+        );
+        assert_eq!(
+            y.len(),
+            self.rows,
+            "matvec_into: output length {} does not match rows {}",
+            y.len(),
+            self.rows
+        );
+        for (i, yi) in y.iter_mut().enumerate() {
+            *yi = vector::rdot(self.row_slice(i), x);
+        }
     }
 
     /// Matrix–matrix product `A·B`.

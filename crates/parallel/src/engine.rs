@@ -8,8 +8,11 @@
 //! 2. splits the requested ensemble into fixed-size chunks
 //!    ([`crate::partition()`]), each with its own deterministic RNG seed,
 //! 3. lets a `std::thread::scope` worker pool pull chunks from a shared
-//!    atomic counter, generate them independently, and either store the
-//!    snapshots or fold them into per-thread covariance accumulators,
+//!    atomic counter; every worker owns **one pooled planar
+//!    [`SampleBlock`]** that the generators stream into through
+//!    [`ChannelStream::next_block_into`] — no per-chunk buffer allocation —
+//!    and either stores the snapshots or folds covariance accumulators
+//!    straight from the planar data,
 //! 4. merges the per-thread results.
 //!
 //! Because chunk seeds depend only on `(master seed, chunk index)`, the
@@ -18,9 +21,12 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use corrfade::{CorrelatedRayleighGenerator, CorrfadeError, RealtimeConfig, RealtimeGenerator};
+use corrfade::{
+    ChannelStream, CorrelatedRayleighGenerator, RealtimeConfig, RealtimeGenerator, SampleBlock,
+};
 use corrfade_linalg::{CMatrix, Complex64};
 
+use crate::error::ParallelError;
 use crate::partition::{chunk_seed, partition, Chunk};
 
 /// Configuration of the parallel engine.
@@ -29,6 +35,8 @@ pub struct ParallelConfig {
     /// Number of worker threads (0 means "number of available cores").
     pub threads: usize,
     /// Number of snapshots generated per chunk (the unit of work stealing).
+    /// Must be positive; the engine entry points report
+    /// [`ParallelError::InvalidChunkSize`] otherwise.
     pub chunk_size: usize,
     /// Master RNG seed.
     pub seed: u64,
@@ -46,6 +54,7 @@ impl Default for ParallelConfig {
 
 impl ParallelConfig {
     /// Resolves the effective number of worker threads.
+    #[must_use]
     pub fn effective_threads(&self) -> usize {
         if self.threads > 0 {
             self.threads
@@ -55,6 +64,17 @@ impl ParallelConfig {
                 .unwrap_or(1)
         }
     }
+
+    /// Checks the configuration for values that could never run.
+    ///
+    /// # Errors
+    /// [`ParallelError::InvalidChunkSize`] when `chunk_size` is zero.
+    pub fn validate(&self) -> Result<(), ParallelError> {
+        if self.chunk_size == 0 {
+            return Err(ParallelError::InvalidChunkSize);
+        }
+        Ok(())
+    }
 }
 
 /// Generates `total` independent snapshots of the correlated complex
@@ -62,12 +82,14 @@ impl ParallelConfig {
 /// thread count.
 ///
 /// # Errors
-/// Propagates covariance-validation errors from the core crate.
+/// [`ParallelError::InvalidChunkSize`] for a zero chunk size; covariance
+/// validation errors from the core crate otherwise.
 pub fn generate_snapshots(
     covariance: &CMatrix,
     total: usize,
     config: &ParallelConfig,
-) -> Result<Vec<Vec<Complex64>>, CorrfadeError> {
+) -> Result<Vec<Vec<Complex64>>, ParallelError> {
+    config.validate()?;
     let coloring = corrfade::eigen_coloring(covariance)?;
     let chunks = partition(total, config.chunk_size);
     let slots: Vec<Mutex<Vec<Vec<Complex64>>>> =
@@ -77,14 +99,19 @@ pub fn generate_snapshots(
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= chunks.len() {
-                    break;
+            scope.spawn(|| {
+                // One planar block per worker, reused across every chunk the
+                // worker pulls.
+                let mut block = SampleBlock::empty();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= chunks.len() {
+                        break;
+                    }
+                    let chunk = chunks[i];
+                    stream_chunk(&coloring, covariance, chunk, config.seed, &mut block);
+                    *slots[chunk.index].lock().unwrap() = block.to_snapshots();
                 }
-                let chunk = chunks[i];
-                let snaps = generate_chunk(&coloring, covariance, chunk, config.seed);
-                *slots[chunk.index].lock().unwrap() = snaps;
             });
         }
     });
@@ -96,37 +123,45 @@ pub fn generate_snapshots(
     Ok(out)
 }
 
-fn generate_chunk(
+/// Streams one chunk of snapshots into the worker's pooled block: sample `l`
+/// of the block is snapshot `chunk.start + l` of the overall ensemble.
+fn stream_chunk(
     coloring: &corrfade::Coloring,
     desired: &CMatrix,
     chunk: Chunk,
     master_seed: u64,
-) -> Vec<Vec<Complex64>> {
+    block: &mut SampleBlock,
+) {
     let mut gen = CorrelatedRayleighGenerator::from_coloring(
         coloring.clone(),
         desired.clone(),
         1.0,
         chunk_seed(master_seed, chunk.index),
     )
-    .expect("coloring was already validated");
-    gen.generate_snapshots(chunk.len)
+    .expect("coloring was already validated")
+    .with_stream_block_len(chunk.len);
+    gen.next_block_into(block)
+        .expect("streaming is infallible after construction");
 }
 
 /// Estimates the sample covariance `E[Z·Zᴴ]` over `total` snapshots without
-/// materializing them: each worker folds its chunks into a local accumulator
-/// and the accumulators are merged at the end.
+/// materializing them: each worker streams its chunks into its pooled
+/// planar block and folds `Σ Z·Zᴴ` straight from the planar data into a
+/// thread-local accumulator; the accumulators are merged at the end.
 ///
 /// # Errors
-/// Propagates covariance-validation errors from the core crate.
+/// [`ParallelError::InvalidChunkSize`] for a zero chunk size; covariance
+/// validation errors from the core crate otherwise.
 pub fn monte_carlo_covariance(
     covariance: &CMatrix,
     total: usize,
     config: &ParallelConfig,
-) -> Result<CMatrix, CorrfadeError> {
+) -> Result<CMatrix, ParallelError> {
     assert!(
         total > 0,
         "monte_carlo_covariance: need at least one snapshot"
     );
+    config.validate()?;
     let coloring = corrfade::eigen_coloring(covariance)?;
     let n = coloring.dimension();
     let chunks = partition(total, config.chunk_size);
@@ -138,27 +173,15 @@ pub fn monte_carlo_covariance(
         for _ in 0..threads {
             scope.spawn(|| {
                 let mut local = CMatrix::zeros(n, n);
+                let mut block = SampleBlock::empty();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= chunks.len() {
                         break;
                     }
                     let chunk = chunks[i];
-                    let mut gen = CorrelatedRayleighGenerator::from_coloring(
-                        coloring.clone(),
-                        covariance.clone(),
-                        1.0,
-                        chunk_seed(config.seed, chunk.index),
-                    )
-                    .expect("coloring was already validated");
-                    for _ in 0..chunk.len {
-                        let z = gen.sample_gaussian();
-                        for a in 0..n {
-                            for b in 0..n {
-                                local[(a, b)] += z[a] * z[b].conj();
-                            }
-                        }
-                    }
+                    stream_chunk(&coloring, covariance, chunk, config.seed, &mut block);
+                    block.accumulate_covariance(&mut local);
                 }
                 let mut shared = accumulator.lock().unwrap();
                 let merged = &*shared + &local;
@@ -178,20 +201,26 @@ pub fn monte_carlo_covariance(
 /// per envelope. Block `i` always uses the RNG stream derived from
 /// `(seed, i)`, so the result is thread-count invariant.
 ///
+/// The eigendecomposition and Doppler filter are designed once on the
+/// calling thread; each worker streams into its own pooled [`SampleBlock`]
+/// through cheaply [reseeded](RealtimeGenerator::reseeded) copies.
+/// [`ParallelConfig::chunk_size`] is not consulted — the unit of work here
+/// is one full Doppler block.
+///
 /// # Errors
-/// Propagates configuration errors from the core crate.
+/// Configuration errors from the core crate.
 pub fn generate_realtime_paths(
     base: &RealtimeConfig,
     blocks: usize,
     config: &ParallelConfig,
-) -> Result<Vec<Vec<Complex64>>, CorrfadeError> {
-    // Validate the configuration once up front so workers cannot fail.
-    let probe = RealtimeGenerator::new(RealtimeConfig {
+) -> Result<Vec<Vec<Complex64>>, ParallelError> {
+    // Validate the configuration (and pay for the decomposition + filter
+    // design) once up front so workers cannot fail.
+    let prototype = RealtimeGenerator::new(RealtimeConfig {
         covariance: base.covariance.clone(),
         ..*base
     })?;
-    let n = probe.dimension();
-    drop(probe);
+    let n = prototype.dimension();
 
     let slots: Vec<Mutex<Vec<Vec<Complex64>>>> =
         (0..blocks).map(|_| Mutex::new(Vec::new())).collect();
@@ -200,19 +229,18 @@ pub fn generate_realtime_paths(
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= blocks {
-                    break;
+            scope.spawn(|| {
+                let mut block = SampleBlock::empty();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= blocks {
+                        break;
+                    }
+                    let mut gen = prototype.reseeded(chunk_seed(base.seed, i));
+                    gen.next_block_into(&mut block)
+                        .expect("configuration validated above");
+                    *slots[i].lock().unwrap() = block.to_paths();
                 }
-                let cfg = RealtimeConfig {
-                    covariance: base.covariance.clone(),
-                    seed: chunk_seed(base.seed, i),
-                    ..*base
-                };
-                let mut gen = RealtimeGenerator::new(cfg).expect("configuration validated above");
-                let block = gen.generate_block();
-                *slots[i].lock().unwrap() = block.gaussian_paths;
             });
         }
     });
@@ -248,6 +276,34 @@ mod tests {
     }
 
     #[test]
+    fn zero_chunk_size_is_a_typed_error() {
+        let k = paper_covariance_matrix_22();
+        let bad = ParallelConfig {
+            chunk_size: 0,
+            ..ParallelConfig::default()
+        };
+        assert_eq!(bad.validate(), Err(ParallelError::InvalidChunkSize));
+        assert!(matches!(
+            generate_snapshots(&k, 100, &bad),
+            Err(ParallelError::InvalidChunkSize)
+        ));
+        assert!(matches!(
+            monte_carlo_covariance(&k, 100, &bad),
+            Err(ParallelError::InvalidChunkSize)
+        ));
+        // generate_realtime_paths partitions by block index, not chunk_size,
+        // so it is unaffected by the zero chunk size.
+        let base = RealtimeConfig {
+            covariance: k,
+            idft_size: 64,
+            normalized_doppler: 0.1,
+            sigma_orig_sq: 0.5,
+            seed: 1,
+        };
+        assert!(generate_realtime_paths(&base, 1, &bad).is_ok());
+    }
+
+    #[test]
     fn snapshot_count_and_shape() {
         let k = paper_covariance_matrix_22();
         let snaps = generate_snapshots(&k, 1000, &config(2, 1)).unwrap();
@@ -263,6 +319,21 @@ mod tests {
         assert_eq!(a, b, "ensemble must not depend on the worker count");
         let c = generate_snapshots(&k, 2000, &config(4, 8)).unwrap();
         assert_ne!(a, c, "different seeds must give different ensembles");
+    }
+
+    #[test]
+    fn snapshots_match_the_sequential_generator_bit_for_bit() {
+        // Chunk 0 of the parallel ensemble must equal a sequential generator
+        // seeded with the same chunk seed — the streaming migration must not
+        // change the produced values.
+        let k = paper_covariance_matrix_22();
+        let cfg = config(2, 13);
+        let snaps = generate_snapshots(&k, 700, &cfg).unwrap();
+        let mut gen =
+            corrfade::CorrelatedRayleighGenerator::new(k, crate::partition::chunk_seed(13, 0))
+                .unwrap();
+        let sequential = gen.generate_snapshots(512);
+        assert_eq!(&snaps[..512], &sequential[..]);
     }
 
     #[test]
@@ -319,8 +390,14 @@ mod tests {
     #[test]
     fn invalid_covariance_is_reported() {
         let bad = CMatrix::zeros(2, 3);
-        assert!(generate_snapshots(&bad, 100, &config(2, 0)).is_err());
-        assert!(monte_carlo_covariance(&bad, 100, &config(2, 0)).is_err());
+        assert!(matches!(
+            generate_snapshots(&bad, 100, &config(2, 0)),
+            Err(ParallelError::Core(_))
+        ));
+        assert!(matches!(
+            monte_carlo_covariance(&bad, 100, &config(2, 0)),
+            Err(ParallelError::Core(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,59 @@
+//! Error type of the parallel Monte-Carlo engine.
+
+use core::fmt;
+
+use corrfade::CorrfadeError;
+
+/// Errors produced while configuring or running the parallel engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParallelError {
+    /// [`crate::ParallelConfig::chunk_size`] was zero — the work could never
+    /// be partitioned. Reported as a typed error instead of the silent
+    /// hang/panic a zero-sized chunking would otherwise cause.
+    InvalidChunkSize,
+    /// An error bubbled up from the core generator stack (covariance
+    /// validation, Doppler filter design, …).
+    Core(CorrfadeError),
+}
+
+impl fmt::Display for ParallelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParallelError::InvalidChunkSize => {
+                write!(f, "chunk_size must be positive (got 0)")
+            }
+            ParallelError::Core(e) => write!(f, "generator error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParallelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParallelError::Core(e) => Some(e),
+            ParallelError::InvalidChunkSize => None,
+        }
+    }
+}
+
+impl From<CorrfadeError> for ParallelError {
+    fn from(e: CorrfadeError) -> Self {
+        ParallelError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = ParallelError::InvalidChunkSize;
+        assert!(e.to_string().contains("chunk_size"));
+        assert!(e.source().is_none());
+        let e: ParallelError = CorrfadeError::EmptyCovariance.into();
+        assert!(e.to_string().contains("generator error"));
+        assert!(e.source().is_some());
+    }
+}

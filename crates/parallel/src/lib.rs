@@ -11,17 +11,25 @@
 //!   blocks (paper Sec. 5 mode), one block per RNG sub-stream.
 //!
 //! The expensive eigendecomposition is performed once on the calling thread;
-//! workers only execute the `Z = L·W/σ_g` hot path. Chunk seeds are derived
-//! from `(master seed, chunk index)` so results do not depend on the number
-//! of worker threads — the statistical regression tests in the workspace rely
-//! on that property.
+//! workers only execute the `Z = L·W/σ_g` hot path, each streaming through
+//! the `corrfade::ChannelStream` interface into one pooled planar
+//! `corrfade::SampleBlock` — zero steady-state allocation per block. Chunk
+//! seeds are derived from `(master seed, chunk index)` so results do not
+//! depend on the number of worker threads — the statistical regression tests
+//! in the workspace rely on that property.
+//!
+//! Configuration mistakes that could never run (a zero
+//! [`ParallelConfig::chunk_size`]) are reported as the typed
+//! [`ParallelError::InvalidChunkSize`] instead of hanging or panicking.
 
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod error;
 pub mod partition;
 
 pub use engine::{
     generate_realtime_paths, generate_snapshots, monte_carlo_covariance, ParallelConfig,
 };
+pub use error::ParallelError;
 pub use partition::{chunk_seed, partition, Chunk};

@@ -19,9 +19,12 @@
 //! generator stack is [`Scenario::to_builder`], which returns a
 //! pre-configured [`corrfade::GeneratorBuilder`].
 //!
-//! Selecting scenarios by name is the groundwork for the batched/streaming
-//! API and the service endpoints on the roadmap: a request can name its
-//! scenario instead of shipping a covariance matrix.
+//! Selecting scenarios by name composes with the zero-allocation streaming
+//! API: [`Scenario::stream`] opens a named scenario as a boxed
+//! [`corrfade::ChannelStream`] whose blocks are written into caller-owned
+//! planar [`corrfade::SampleBlock`] buffers — a request can name its
+//! scenario instead of shipping a covariance matrix, and the service layer
+//! can pool one block per connection.
 //!
 //! # Examples
 //!
@@ -40,6 +43,23 @@
 //! // Real-time Doppler mode (paper Sec. 5) with the scenario's settings.
 //! let mut rt = scenario.build_realtime(7).unwrap();
 //! assert_eq!(rt.block_len(), 4096);
+//! ```
+//!
+//! Stream a named scenario through the zero-allocation block API:
+//!
+//! ```
+//! use corrfade::{ChannelStream, SampleBlock};
+//! use corrfade_scenarios::lookup;
+//!
+//! let mut stream = lookup("fig4a-spectral").unwrap().stream(7).unwrap();
+//! let mut block = SampleBlock::empty();
+//! for _ in 0..2 {
+//!     // After the first call has sized `block`, subsequent calls reuse it
+//!     // without any heap allocation.
+//!     stream.next_block_into(&mut block).unwrap();
+//! }
+//! assert_eq!(block.envelopes(), 3);
+//! assert_eq!(block.samples(), 4096);
 //! ```
 //!
 //! Unknown names are a typed error, not a panic:
@@ -111,6 +131,27 @@ mod tests {
                 "scenario `{}` failed to build in real-time mode: {gen:?}",
                 s.name
             );
+        }
+    }
+
+    #[test]
+    fn every_registered_scenario_streams_both_modes() {
+        use corrfade::{ChannelStream, SampleBlock};
+        let mut block = SampleBlock::empty();
+        for s in iter() {
+            let mut rt = s.stream(1).unwrap();
+            rt.next_block_into(&mut block).unwrap();
+            assert_eq!(block.envelopes(), s.envelopes, "scenario `{}`", s.name);
+            assert_eq!(
+                block.samples(),
+                s.doppler.idft_size,
+                "scenario `{}`",
+                s.name
+            );
+            let mut si = s.stream_snapshots(1).unwrap();
+            si.next_block_into(&mut block).unwrap();
+            assert_eq!(block.envelopes(), s.envelopes, "scenario `{}`", s.name);
+            assert_eq!(block.samples(), si.block_len(), "scenario `{}`", s.name);
         }
     }
 

@@ -1,7 +1,9 @@
 //! The declarative [`Scenario`] description and its bridge into the
 //! [`corrfade::GeneratorBuilder`].
 
-use corrfade::{CorrelatedRayleighGenerator, GeneratorBuilder, RealtimeConfig, RealtimeGenerator};
+use corrfade::{
+    ChannelStream, CorrelatedRayleighGenerator, GeneratorBuilder, RealtimeConfig, RealtimeGenerator,
+};
 use corrfade_linalg::{c64, CMatrix};
 use corrfade_models::{
     pairwise_delays_from_arrival_times, ChannelParams, JakesSpectralModel, SalzWintersSpatialModel,
@@ -411,6 +413,38 @@ impl Scenario {
     /// See [`Scenario::covariance_matrix`].
     pub fn build_realtime(&self, seed: u64) -> Result<RealtimeGenerator, ScenarioError> {
         Ok(RealtimeGenerator::new(self.realtime_config(seed)?)?)
+    }
+
+    /// Opens this scenario as a boxed [`ChannelStream`] in real-time
+    /// (Doppler) mode — the convenience entry point for services that
+    /// resolve a channel simulation by name and stream blocks from it:
+    ///
+    /// ```
+    /// use corrfade::{ChannelStream, SampleBlock};
+    ///
+    /// let scenario = corrfade_scenarios::lookup("fig4b-spatial").unwrap();
+    /// let mut stream = scenario.stream(7).unwrap();
+    /// let mut block = SampleBlock::empty();
+    /// stream.next_block_into(&mut block).unwrap();
+    /// assert_eq!(block.envelopes(), scenario.envelopes);
+    /// assert_eq!(block.samples(), scenario.doppler.idft_size);
+    /// // Reusing `block` for subsequent calls performs no heap allocation.
+    /// stream.next_block_into(&mut block).unwrap();
+    /// ```
+    ///
+    /// # Errors
+    /// See [`Scenario::covariance_matrix`].
+    pub fn stream(&self, seed: u64) -> Result<Box<dyn ChannelStream>, ScenarioError> {
+        Ok(Box::new(self.build_realtime(seed)?))
+    }
+
+    /// Opens this scenario as a boxed [`ChannelStream`] in single-instant
+    /// mode (paper Sec. 4.4): each block batches independent snapshots.
+    ///
+    /// # Errors
+    /// See [`Scenario::covariance_matrix`].
+    pub fn stream_snapshots(&self, seed: u64) -> Result<Box<dyn ChannelStream>, ScenarioError> {
+        Ok(Box::new(self.build(seed)?))
     }
 }
 

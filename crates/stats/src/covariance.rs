@@ -7,7 +7,7 @@
 //! `Rxx`, `Ryy`, `Rxy`, `Ryx` of Eq. (1)–(2) so tests can verify the
 //! decomposition in Eq. (13) term by term.
 
-use corrfade_linalg::{c64, CMatrix, Complex64};
+use corrfade_linalg::{c64, CMatrix, Complex64, SampleBlock};
 
 /// Sample covariance matrix `K̂ = (1/S)·Σ_s z_s·z_sᴴ` of `N` zero-mean
 /// complex processes observed over `S` snapshots.
@@ -64,6 +64,24 @@ pub fn sample_covariance_from_paths(paths: &[Vec<Complex64>]) -> CMatrix {
         }
     }
     k
+}
+
+/// Sample covariance straight from a planar [`SampleBlock`] — no snapshot
+/// or path vectors are materialized. Every sample of the block counts as one
+/// snapshot, matching [`sample_covariance`] over
+/// [`SampleBlock::to_snapshots`] bit for bit.
+///
+/// # Panics
+/// Panics if the block is empty.
+pub fn sample_covariance_from_block(block: &SampleBlock) -> CMatrix {
+    assert!(
+        block.samples() > 0 && block.envelopes() > 0,
+        "sample_covariance_from_block: empty block"
+    );
+    let n = block.envelopes();
+    let mut k = CMatrix::zeros(n, n);
+    block.accumulate_covariance(&mut k);
+    k.scale_real(1.0 / block.samples() as f64)
 }
 
 /// The four real cross-covariances of Eq. (1)–(2) between processes `k` and
@@ -146,6 +164,24 @@ mod tests {
         assert!(k[(0, 1)].approx_eq(c64(0.0, 1.5), 1e-12));
         // Hermitian.
         assert!(k[(1, 0)].approx_eq(k[(0, 1)].conj(), 1e-12));
+    }
+
+    #[test]
+    fn block_and_snapshot_estimates_are_bit_identical() {
+        let snapshots = [
+            vec![c64(1.0, 1.0), c64(2.0, -1.0)],
+            vec![c64(-1.0, 0.5), c64(0.0, 1.0)],
+            vec![c64(0.25, -2.0), c64(1.0, 1.0)],
+        ];
+        let mut block = SampleBlock::new(2, 3);
+        for (l, snap) in snapshots.iter().enumerate() {
+            for (j, &z) in snap.iter().enumerate() {
+                block.path_mut(j)[l] = z;
+            }
+        }
+        let from_snaps = sample_covariance(&snapshots);
+        let from_block = sample_covariance_from_block(&block);
+        assert!(from_block.approx_eq(&from_snaps, 0.0));
     }
 
     #[test]

@@ -34,7 +34,8 @@ pub use autocorr::{
 };
 pub use covariance::{
     complex_covariance_from_parts, correlation_from_covariance, real_imag_covariances,
-    relative_frobenius_error, sample_covariance, sample_covariance_from_paths,
+    relative_frobenius_error, sample_covariance, sample_covariance_from_block,
+    sample_covariance_from_paths,
 };
 pub use descriptive::{
     kurtosis, mean, mean_square, median, pearson_correlation, quantile, rms, skewness, std_dev,

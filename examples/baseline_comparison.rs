@@ -2,28 +2,37 @@
 //! methods it generalizes (the paper's references [1]–[6]).
 //!
 //! For a set of registered scenarios of increasing difficulty, every method
-//! is asked to generate 50 000 snapshots; the table reports whether it could
-//! run at all and, if so, the relative Frobenius error between the achieved
-//! and the desired covariance.
+//! is asked to stream ~50 000 snapshots through the shared `ChannelStream`
+//! interface; the table reports whether it could run at all and, if so, the
+//! relative Frobenius error between the achieved and the desired covariance
+//! (folded straight from the planar blocks).
 //!
 //! Run with: `cargo run --release --example baseline_comparison`
 
-use corrfade_baselines::{
-    BeaulieuMeraniGenerator, NatarajanGenerator, SalzWintersGenerator, SorooshyariDautGenerator,
-};
+use corrfade::{ChannelStream, SampleBlock};
+use corrfade_baselines::{BaselineMethod, NatarajanGenerator};
 use corrfade_linalg::CMatrix;
 use corrfade_scenarios::lookup;
-use corrfade_stats::{relative_frobenius_error, sample_covariance};
+use corrfade_stats::relative_frobenius_error;
 
 const SNAPSHOTS: usize = 50_000;
 
-fn err_or_fail<F>(build: F, k: &CMatrix) -> String
-where
-    F: FnOnce() -> Result<Vec<Vec<corrfade_linalg::Complex64>>, String>,
-{
-    match build() {
-        Ok(snaps) => {
-            let khat = sample_covariance(&snaps);
+fn err_or_fail(
+    stream: Result<Box<dyn ChannelStream>, String>,
+    k: &CMatrix,
+    block: &mut SampleBlock,
+) -> String {
+    match stream {
+        Ok(mut s) => {
+            let mut acc = CMatrix::zeros(s.dimension(), s.dimension());
+            let mut total = 0usize;
+            while total < SNAPSHOTS {
+                s.next_block_into(block)
+                    .expect("in-tree streams are infallible after construction");
+                block.accumulate_covariance(&mut acc);
+                total += block.samples();
+            }
+            let khat = acc.scale_real(1.0 / total as f64);
             format!("{:.3}", relative_frobenius_error(&khat, k))
         }
         Err(reason) => reason,
@@ -51,49 +60,47 @@ fn main() {
         "(numbers are relative Frobenius errors of the achieved covariance; text = failure reason)"
     );
 
+    // One pooled planar block serves every method on every scenario.
+    let mut block = SampleBlock::empty();
     for name in scenario_names {
         let scenario = lookup(name).expect("registered scenario");
         let k = scenario.covariance_matrix().expect("valid scenario");
         let proposed = err_or_fail(
-            || {
-                scenario
-                    .build(1)
-                    .map(|mut g| g.generate_snapshots(SNAPSHOTS))
-                    .map_err(|e| format!("fail: {e}"))
-            },
+            scenario
+                .stream_snapshots(1)
+                .map_err(|e| format!("fail: {e}")),
             &k,
+            &mut block,
         );
         let sw = err_or_fail(
-            || {
-                SalzWintersGenerator::new(&k, 1)
-                    .map(|mut g| g.generate_snapshots(SNAPSHOTS))
-                    .map_err(|_| "fail".to_string())
-            },
+            BaselineMethod::SalzWinters
+                .try_stream(&k, 1)
+                .map_err(|_| "fail".to_string()),
             &k,
+            &mut block,
         );
         let bm = err_or_fail(
-            || {
-                BeaulieuMeraniGenerator::new(&k, 1)
-                    .map(|mut g| g.generate_snapshots(SNAPSHOTS))
-                    .map_err(|_| "fail".to_string())
-            },
+            BaselineMethod::BeaulieuMerani
+                .try_stream(&k, 1)
+                .map_err(|_| "fail".to_string()),
             &k,
+            &mut block,
         );
+        // Natarajan[5] runs in its lossy mode (imaginary parts dropped), a
+        // constructor `try_stream` does not expose.
         let nat = err_or_fail(
-            || {
-                NatarajanGenerator::new_lossy(&k, 1)
-                    .map(|mut g| g.generate_snapshots(SNAPSHOTS))
-                    .map_err(|_| "fail".to_string())
-            },
+            NatarajanGenerator::new_lossy(&k, 1)
+                .map(|g| Box::new(g) as Box<dyn ChannelStream>)
+                .map_err(|_| "fail".to_string()),
             &k,
+            &mut block,
         );
         let sd = err_or_fail(
-            || {
-                SorooshyariDautGenerator::new(&k, 1)
-                    .map(|mut g| g.generate_snapshots(SNAPSHOTS))
-                    .map_err(|_| "fail".to_string())
-            },
+            BaselineMethod::SorooshyariDaut
+                .try_stream(&k, 1)
+                .map_err(|_| "fail".to_string()),
             &k,
+            &mut block,
         );
 
         println!("{name:<22} {proposed:<14} {sw:<16} {bm:<18} {nat:<14} {sd:<18}");

@@ -9,8 +9,9 @@
 //!
 //! Run with: `cargo run --release --example mimo_spatial`
 
+use corrfade::{ChannelStream, SampleBlock};
 use corrfade_scenarios::{iter, lookup, CovarianceSpec};
-use corrfade_stats::{relative_frobenius_error, sample_covariance};
+use corrfade_stats::{relative_frobenius_error, sample_covariance_from_block};
 
 fn main() {
     // How does adjacent-antenna correlation depend on geometry? Compare the
@@ -47,10 +48,16 @@ fn main() {
     println!();
     println!("desired covariance matrix (paper Eq. 23):\n{k:.4}");
 
-    // Single-instant mode: 100k snapshots, check E[Z Z^H] = K.
-    let mut gen = paper.build(0x313D).expect("valid configuration");
-    let snaps = gen.generate_snapshots(100_000);
-    let khat = sample_covariance(&snaps);
+    // Single-instant mode: 100k snapshots streamed as one planar block,
+    // check E[Z Z^H] = K without materializing any snapshot vectors.
+    let mut gen = paper
+        .build(0x313D)
+        .expect("valid configuration")
+        .with_stream_block_len(100_000);
+    let mut block = SampleBlock::empty();
+    gen.next_block_into(&mut block)
+        .expect("valid configuration");
+    let khat = sample_covariance_from_block(&block);
     println!("achieved covariance (100k snapshots):\n{khat:.4}");
     println!(
         "relative Frobenius error: {:.4}",

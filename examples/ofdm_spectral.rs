@@ -10,8 +10,10 @@
 //!
 //! Run with: `cargo run --release --example ofdm_spectral`
 
+use corrfade::{ChannelStream, SampleBlock};
+use corrfade_linalg::CMatrix;
 use corrfade_scenarios::lookup;
-use corrfade_stats::{relative_frobenius_error, sample_covariance_from_paths};
+use corrfade_stats::relative_frobenius_error;
 
 fn main() {
     let scenario = lookup("fig4a-spectral").expect("registered scenario");
@@ -45,9 +47,31 @@ fn main() {
         gen.doppler_output_variance()
     );
 
-    // Generate 10 blocks (~41 k samples per envelope) and validate.
-    let block = gen.generate_blocks(10);
-    let khat = sample_covariance_from_paths(&block.gaussian_paths);
+    // Stream 10 blocks (~41 k samples per envelope) through one pooled
+    // planar block, folding the covariance straight from the planar data
+    // and keeping only the first envelope's concatenated Rayleigh path for
+    // the second-order statistics.
+    let n = gen.dimension();
+    let mut block = SampleBlock::empty();
+    let mut acc = CMatrix::zeros(n, n);
+    let mut env0: Vec<f64> = Vec::new();
+    let mut samples = 0usize;
+    let mut first_block_db: Vec<Vec<f64>> = Vec::new();
+    for i in 0..10 {
+        gen.next_block_into(&mut block)
+            .expect("valid configuration");
+        block.accumulate_covariance(&mut acc);
+        samples += block.samples();
+        if i == 0 {
+            // The first 20 samples of each envelope in dB around RMS — the
+            // quantity plotted in the paper's Fig. 4(a).
+            first_block_db = (0..n)
+                .map(|j| corrfade_stats::envelope_db_around_rms(&block.envelope_path(j)[..200]))
+                .collect();
+        }
+        env0.extend_from_slice(block.envelope_path(0));
+    }
+    let khat = acc.scale_real(1.0 / samples as f64);
     println!();
     println!("achieved covariance:\n{khat:.4}");
     println!(
@@ -55,19 +79,16 @@ fn main() {
         relative_frobenius_error(&khat, &k)
     );
 
-    // Print the first 20 samples of each envelope in dB around RMS — the
-    // quantity plotted in the paper's Fig. 4(a).
     println!();
     println!("first 20 samples (dB around RMS), one row per envelope:");
-    for path in &block.envelope_paths {
-        let db = corrfade_stats::envelope_db_around_rms(&path[..200]);
+    for db in &first_block_db {
         let row: Vec<String> = db[..20].iter().map(|v| format!("{v:6.1}")).collect();
         println!("  {}", row.join(" "));
     }
 
     // Fading metrics of the first envelope.
     let fm = scenario.doppler.normalized_doppler;
-    let env = &block.envelope_paths[0];
+    let env = &env0;
     let rms = corrfade_stats::envelope_rms(env);
     let rho = 0.5f64;
     let lcr = corrfade_stats::empirical_lcr(env, rho * rms);

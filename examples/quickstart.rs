@@ -3,8 +3,9 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+use corrfade::{ChannelStream, SampleBlock};
 use corrfade_scenarios::lookup;
-use corrfade_stats::{relative_frobenius_error, sample_covariance};
+use corrfade_stats::{relative_frobenius_error, sample_covariance_from_block};
 
 fn main() {
     println!("corrfade quickstart (v{})", corrfade_suite::VERSION);
@@ -36,9 +37,14 @@ fn main() {
         println!("  sample {i}: [{}]", formatted.join(", "));
     }
 
-    // 4. Verify the headline property E[Z·Z^H] = K on a larger ensemble.
-    let snaps = gen.generate_snapshots(100_000);
-    let khat = sample_covariance(&snaps);
+    // 4. Verify the headline property E[Z·Z^H] = K on a larger ensemble,
+    //    streamed through the zero-allocation block API: the generator
+    //    batches 100k snapshots into one caller-owned planar SampleBlock.
+    gen.set_stream_block_len(100_000);
+    let mut block = SampleBlock::empty();
+    gen.next_block_into(&mut block)
+        .expect("valid configuration");
+    let khat = sample_covariance_from_block(&block);
     println!();
     println!("desired covariance:\n{k:.4}");
     println!("sample covariance over 100k snapshots:\n{khat:.4}");
@@ -68,4 +74,17 @@ fn main() {
             requested[j]
         );
     }
+
+    // 6. Real-time (Doppler) mode as a boxed ChannelStream: services resolve
+    //    a scenario by name and stream M-sample blocks from it, reusing the
+    //    same planar buffer — zero heap allocation per block in steady
+    //    state.
+    let mut stream = scenario.stream(3).expect("valid scenario");
+    stream.next_block_into(&mut block).expect("valid scenario");
+    println!();
+    println!(
+        "streamed one real-time block: {} envelopes x {} Doppler-correlated samples",
+        block.envelopes(),
+        block.samples()
+    );
 }

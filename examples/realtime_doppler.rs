@@ -9,12 +9,11 @@
 //!
 //! Run with: `cargo run --release --example realtime_doppler`
 
-use corrfade::RealtimeGenerator;
+use corrfade::{ChannelStream, RealtimeGenerator, SampleBlock};
+use corrfade_linalg::{CMatrix, Complex64};
 use corrfade_scenarios::lookup;
 use corrfade_specfun::bessel_j0;
-use corrfade_stats::{
-    normalized_autocorrelation, relative_frobenius_error, sample_covariance_from_paths,
-};
+use corrfade_stats::{normalized_autocorrelation, relative_frobenius_error};
 
 fn main() {
     let scenario = lookup("fig4a-spectral").expect("registered scenario");
@@ -26,6 +25,10 @@ fn main() {
         scenario.envelopes, scenario.name, scenario.doppler.idft_size
     );
 
+    // One pooled planar block serves every streamed generator in this
+    // example — steady-state generation allocates nothing.
+    let mut block = SampleBlock::empty();
+
     // The invariance to sigma_orig^2 is the point: sweep it around the
     // scenario's default of 0.5.
     for &sigma_orig_sq in &[0.1f64, 0.5, 2.0] {
@@ -33,8 +36,16 @@ fn main() {
         cfg.sigma_orig_sq = sigma_orig_sq;
         let mut gen = RealtimeGenerator::new(cfg).expect("valid configuration");
 
-        let block = gen.generate_blocks(8);
-        let khat = sample_covariance_from_paths(&block.gaussian_paths);
+        // Fold the covariance straight from the planar data of 8 blocks.
+        let mut acc = CMatrix::zeros(gen.dimension(), gen.dimension());
+        let mut samples = 0usize;
+        for _ in 0..8 {
+            gen.next_block_into(&mut block)
+                .expect("valid configuration");
+            block.accumulate_covariance(&mut acc);
+            samples += block.samples();
+        }
+        let khat = acc.scale_real(1.0 / samples as f64);
         println!(
             "  sigma_orig^2 = {sigma_orig_sq:>4}: Doppler output variance (Eq. 19) = {:.4}, \
              covariance rel. error = {:.4}",
@@ -43,10 +54,18 @@ fn main() {
         );
     }
 
-    // Temporal autocorrelation of one envelope vs the J0 target.
+    // Temporal autocorrelation of one envelope vs the J0 target, measured on
+    // the concatenation of 8 streamed blocks.
     let mut gen = scenario.build_realtime(0xD1).expect("valid configuration");
-    let block = gen.generate_blocks(8);
-    let rho = normalized_autocorrelation(&block.gaussian_paths[0], 60);
+    let mut path0: Vec<Complex64> = Vec::new();
+    let mut env0: Vec<f64> = Vec::new();
+    for _ in 0..8 {
+        gen.next_block_into(&mut block)
+            .expect("valid configuration");
+        path0.extend_from_slice(block.path(0));
+        env0.extend_from_slice(block.envelope_path(0));
+    }
+    let rho = normalized_autocorrelation(&path0, 60);
     println!();
     println!("{:>6} {:>12} {:>12}", "lag", "measured", "J0(2*pi*fm*d)");
     for &d in &[0usize, 5, 10, 15, 20, 30, 40, 50, 60] {
@@ -58,7 +77,7 @@ fn main() {
     }
 
     // Deep-fade structure: level crossing rate across thresholds.
-    let env = &block.envelope_paths[0];
+    let env = &env0;
     let rms = corrfade_stats::envelope_rms(env);
     println!();
     println!(

@@ -6,7 +6,7 @@
 //! Run with: `cargo run --release --example unequal_power`
 
 use corrfade_scenarios::{lookup, PowerProfile};
-use corrfade_stats::{relative_frobenius_error, sample_covariance};
+use corrfade_stats::{relative_frobenius_error, sample_covariance_from_block};
 
 fn main() {
     // 1. Unequal powers specified as desired *envelope* variances σ_r²
@@ -58,7 +58,10 @@ fn main() {
     );
     println!("{:.4}", gen.realized_covariance());
 
-    let khat = sample_covariance(&gen.generate_snapshots(150_000));
+    gen.set_stream_block_len(150_000);
+    let mut block = corrfade::SampleBlock::empty();
+    corrfade::ChannelStream::next_block_into(&mut gen, &mut block).expect("valid configuration");
+    let khat = sample_covariance_from_block(&block);
     println!("sample covariance of the generated envelopes:");
     println!("{khat:.4}");
     println!(

@@ -1,0 +1,116 @@
+//! Allocation-regression test: once a `ChannelStream` and its destination
+//! [`SampleBlock`] are warm, `next_block_into` must perform **zero heap
+//! allocation** — the core guarantee of the streaming redesign.
+//!
+//! A counting global allocator records every allocation of the test binary;
+//! the test measures the delta across a window of streamed blocks after a
+//! warm-up phase. The whole file holds exactly one `#[test]` so no
+//! concurrently running test can pollute the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use corrfade::{
+    ChannelStream, CorrelatedRayleighGenerator, RealtimeConfig, RealtimeGenerator, SampleBlock,
+};
+use corrfade_models::{paper_covariance_matrix_22, paper_covariance_matrix_23};
+
+/// A [`System`]-backed allocator that counts allocation calls.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+// SAFETY: delegates every operation to `System`; only adds a counter.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations() -> usize {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Streams `warmup + measured` blocks and returns the allocation count
+/// observed over the measured window.
+fn measure<S: ChannelStream>(stream: &mut S, block: &mut SampleBlock) -> usize {
+    for _ in 0..2 {
+        stream.next_block_into(block).unwrap();
+    }
+    let before = allocations();
+    for _ in 0..8 {
+        stream.next_block_into(block).unwrap();
+    }
+    allocations() - before
+}
+
+#[test]
+fn next_block_into_is_allocation_free_after_warmup() {
+    // Power-of-two M: the in-place IDFT path, as in every paper experiment.
+    let mut block = SampleBlock::empty();
+
+    for k in [paper_covariance_matrix_22(), paper_covariance_matrix_23()] {
+        let cfg = RealtimeConfig {
+            covariance: k.clone(),
+            idft_size: 1024,
+            normalized_doppler: 0.05,
+            sigma_orig_sq: 0.5,
+            seed: 1,
+        };
+        let mut realtime = RealtimeGenerator::new(cfg).unwrap();
+        let delta = measure(&mut realtime, &mut block);
+        assert_eq!(
+            delta, 0,
+            "RealtimeGenerator::next_block_into allocated {delta} time(s) after warm-up"
+        );
+
+        let mut single = CorrelatedRayleighGenerator::new(k, 1)
+            .unwrap()
+            .with_stream_block_len(512);
+        let delta = measure(&mut single, &mut block);
+        assert_eq!(
+            delta, 0,
+            "CorrelatedRayleighGenerator::next_block_into allocated {delta} time(s) after warm-up"
+        );
+    }
+
+    // The baseline streams honour the same contract: the flawed realtime
+    // combination, the real-embedding generator (its own scratch path), and
+    // one user of the shared snapshot-batching helper (which also covers
+    // BeaulieuMerani and Natarajan).
+    let k = paper_covariance_matrix_23();
+    let mut baseline =
+        corrfade_baselines::SorooshyariDautRealtimeGenerator::new(&k, 1024, 0.05, 0.5, 1).unwrap();
+    let delta = measure(&mut baseline, &mut block);
+    assert_eq!(
+        delta, 0,
+        "SorooshyariDautRealtimeGenerator::next_block_into allocated {delta} time(s) after warm-up"
+    );
+
+    let mut salz = corrfade_baselines::SalzWintersGenerator::new(&k, 1).unwrap();
+    let delta = measure(&mut salz, &mut block);
+    assert_eq!(
+        delta, 0,
+        "SalzWintersGenerator::next_block_into allocated {delta} time(s) after warm-up"
+    );
+
+    let mut sd = corrfade_baselines::SorooshyariDautGenerator::new(&k, 1).unwrap();
+    let delta = measure(&mut sd, &mut block);
+    assert_eq!(
+        delta, 0,
+        "SorooshyariDautGenerator::next_block_into allocated {delta} time(s) after warm-up"
+    );
+}
