@@ -1,0 +1,235 @@
+//! Compares freshly measured bench medians (`BENCH_<name>.json`, written by
+//! the vendored criterion shim when `CORRFADE_BENCH_JSON_DIR` is set)
+//! against a committed baseline directory and **fails on regressions** —
+//! the CI gate behind the "criterion baselines in CI" ROADMAP item.
+//!
+//! ```text
+//! bench_regression_check --baseline crates/bench/baselines --current bench-json \
+//!                        [--threshold 1.25]
+//! ```
+//!
+//! Medians are wall-clock, and CI runners are not the machine the
+//! baselines were recorded on, so raw ratios are **hardware-normalized**
+//! before gating: each benchmark's `current/baseline` ratio is divided by
+//! a machine-speed factor — the median ratio of the scalar-backend kernel
+//! benchmarks (ids ending in `/scalar`, whose code paths are frozen by
+//! the bit-exactness contract) when at least three are present, the
+//! global median otherwise. A uniformly slower (or faster) machine shifts
+//! every ratio equally and normalizes away, while a slowdown confined to
+//! the default vector backend cannot move the scalar anchor and still
+//! trips the gate. A benchmark fails when its normalized ratio exceeds
+//! `threshold`
+//! (default 1.25, i.e. >25 % regression vs. the committed baseline after
+//! machine-speed normalization; `--threshold`/`BENCH_REGRESSION_THRESHOLD`
+//! override). Only ids present in both directories are compared, so adding
+//! or retiring benchmarks never breaks the gate.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::process::ExitCode;
+
+/// One `{"id": …, "median_ns": …}` line of the shim's JSON report. The
+/// format is flat by construction (see `vendor/criterion`), so a scanning
+/// parser is sufficient and keeps the workspace free of a JSON dependency.
+fn parse_results(text: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let Some(id_start) = line.find("\"id\": \"") else {
+            continue;
+        };
+        let rest = &line[id_start + 7..];
+        let Some(id_end) = rest.find('"') else {
+            continue;
+        };
+        let id = rest[..id_end].to_string();
+        let Some(med_start) = line.find("\"median_ns\": ") else {
+            continue;
+        };
+        let med_rest = &line[med_start + 13..];
+        let med_text: String = med_rest
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+            .collect();
+        if let Ok(median) = med_text.parse::<f64>() {
+            out.insert(id, median);
+        }
+    }
+    out
+}
+
+/// Loads and merges every `BENCH_*.json` in a directory.
+fn load_dir(dir: &Path) -> Result<BTreeMap<String, f64>, String> {
+    let mut all = BTreeMap::new();
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let path = entry.map_err(|e| e.to_string())?.path();
+        let name = path.file_name().map(|n| n.to_string_lossy().into_owned());
+        let is_bench_json = name
+            .as_deref()
+            .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"));
+        if !is_bench_json {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        all.extend(parse_results(&text));
+    }
+    Ok(all)
+}
+
+fn format_ms(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else {
+        format!("{:.2} ms", ns / 1e6)
+    }
+}
+
+fn usage() -> String {
+    "usage: bench_regression_check --baseline <dir> --current <dir> [--threshold <ratio>]"
+        .to_string()
+}
+
+fn run() -> Result<bool, String> {
+    let mut baseline_dir = None;
+    let mut current_dir = None;
+    let mut threshold = std::env::var("BENCH_REGRESSION_THRESHOLD")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(1.25);
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => baseline_dir = Some(args.next().ok_or_else(usage)?),
+            "--current" => current_dir = Some(args.next().ok_or_else(usage)?),
+            "--threshold" => {
+                threshold = args
+                    .next()
+                    .ok_or_else(usage)?
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad --threshold: {e}"))?;
+            }
+            other => return Err(format!("unknown argument {other:?}\n{}", usage())),
+        }
+    }
+    let baseline = load_dir(Path::new(&baseline_dir.ok_or_else(usage)?))?;
+    let current = load_dir(Path::new(&current_dir.ok_or_else(usage)?))?;
+    if baseline.is_empty() {
+        return Err("baseline directory contains no BENCH_*.json results".into());
+    }
+
+    let compared: Vec<(&String, f64, f64, f64)> = baseline
+        .iter()
+        .filter_map(|(id, &base_ns)| {
+            current
+                .get(id)
+                .map(|&cur_ns| (id, base_ns, cur_ns, cur_ns / base_ns))
+        })
+        .collect();
+    if compared.is_empty() {
+        return Err("no benchmark ids overlap between baseline and current".into());
+    }
+
+    // Hardware normalization: a machine-speed factor captures how much
+    // faster or slower this runner is overall; genuine regressions are
+    // outliers relative to it. The factor is anchored on the
+    // scalar-backend kernel benchmarks (ids ending in "/scalar") whenever
+    // at least three are present: those code paths are frozen by the
+    // bit-exactness contract, so a change that uniformly slows the
+    // default (vector) backend cannot drag the anchor along with it and
+    // slip through. Without enough anchors the global median is used.
+    let mut ratios: Vec<f64> = compared
+        .iter()
+        .filter(|(id, _, _, _)| id.ends_with("/scalar"))
+        .map(|&(_, _, _, r)| r)
+        .collect();
+    let anchored = ratios.len() >= 3;
+    if !anchored {
+        ratios = compared.iter().map(|&(_, _, _, r)| r).collect();
+    }
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    let median_ratio = ratios[ratios.len() / 2];
+
+    let mut regressions = Vec::new();
+    println!(
+        "{:<56} {:>12} {:>12} {:>8} {:>8}",
+        "benchmark", "baseline", "current", "ratio", "norm"
+    );
+    for &(id, base_ns, cur_ns, ratio) in &compared {
+        let normalized = ratio / median_ratio;
+        let marker = if normalized > threshold {
+            "  << REGRESSION"
+        } else {
+            ""
+        };
+        println!(
+            "{id:<56} {:>12} {:>12} {ratio:>7.2}x {normalized:>7.2}x{marker}",
+            format_ms(base_ns),
+            format_ms(cur_ns)
+        );
+        if normalized > threshold {
+            regressions.push((id.clone(), normalized));
+        }
+    }
+    println!(
+        "\ncompared {} benchmark(s) against {} baseline entr(ies); \
+         machine-speed factor {median_ratio:.2}x ({}), threshold {threshold:.2}x (normalized)",
+        compared.len(),
+        baseline.len(),
+        if anchored {
+            "median of scalar-backend anchors"
+        } else {
+            "global median"
+        }
+    );
+    if regressions.is_empty() {
+        println!("no regressions");
+        Ok(true)
+    } else {
+        println!("{} regression(s):", regressions.len());
+        for (id, normalized) in &regressions {
+            println!("  {id}: {normalized:.2}x over baseline (machine-normalized)");
+        }
+        Ok(false)
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("bench_regression_check: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_shim_format() {
+        let text = r#"{
+  "bench": "doppler_idft",
+  "results": [
+    {"id": "doppler/ifft/4096", "median_ns": 103050.0, "throughput": {"elements": 4096}},
+    {"id": "doppler/filter_design/1024", "median_ns": 1640.5}
+  ]
+}
+"#;
+        let parsed = parse_results(text);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed["doppler/ifft/4096"], 103050.0);
+        assert_eq!(parsed["doppler/filter_design/1024"], 1640.5);
+    }
+
+    #[test]
+    fn ignores_unrelated_lines() {
+        assert!(parse_results("{\n  \"bench\": \"x\",\n  \"results\": [\n  ]\n}\n").is_empty());
+    }
+}

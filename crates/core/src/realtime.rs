@@ -22,7 +22,7 @@
 //! flawed variant is reproduced in `corrfade-baselines` for the E8 ablation.
 
 use corrfade_dsp::{DopplerFilter, IdftRayleighGenerator};
-use corrfade_linalg::{CMatrix, Complex64, SampleBlock};
+use corrfade_linalg::{kernel, CMatrix, Complex64, SampleBlock};
 use corrfade_randn::RandomStream;
 
 use crate::coloring::{eigen_coloring, Coloring};
@@ -107,10 +107,10 @@ pub struct RealtimeGenerator {
     rng: RandomStream,
     /// Planar `N × M` scratch for the raw Doppler sequences `u_j[l]`.
     raw: Vec<Complex64>,
-    /// Per-instant input vector `W[l]` scratch.
+    /// Per-instant `W[l]` gather scratch (scalar kernel backend).
     w: Vec<Complex64>,
-    /// Per-instant output vector `Z[l]` scratch.
-    z: Vec<Complex64>,
+    /// Split-complex tile scratch (vector kernel backend).
+    planes: Vec<f64>,
 }
 
 impl RealtimeGenerator {
@@ -141,7 +141,7 @@ impl RealtimeGenerator {
             rng: RandomStream::new(config.seed),
             raw: Vec::new(),
             w: Vec::new(),
-            z: Vec::new(),
+            planes: Vec::new(),
         })
     }
 
@@ -195,15 +195,16 @@ impl RealtimeGenerator {
 
     /// The streaming hot path behind [`ChannelStream::next_block_into`]:
     /// runs the `N` Doppler generators into the planar scratch, then writes
-    /// `Z[l] = L·W[l]/σ_g` straight into the destination block. No heap
-    /// allocation once the scratch and the destination block are warm.
+    /// `Z[l] = L·W[l]/σ_g` straight into the destination block through the
+    /// [`kernel::color_block`] dispatch — the scalar backend reproduces the
+    /// historical per-instant gather → matvec → scatter loop bit for bit,
+    /// the vector backend runs the cache-blocked split-complex kernel. No
+    /// heap allocation once the scratch and the destination block are warm.
     fn fill_block(&mut self, block: &mut SampleBlock) {
         let n = self.coloring.dimension();
         let m = self.idft.filter().len();
         block.resize(n, m);
         self.raw.resize(n * m, Complex64::ZERO);
-        self.w.resize(n, Complex64::ZERO);
-        self.z.resize(n, Complex64::ZERO);
 
         // Steps 2–5 of the Sec. 5 algorithm: N independent Doppler-shaped
         // sequences, one per envelope, planar in the scratch buffer.
@@ -215,16 +216,16 @@ impl RealtimeGenerator {
         // Steps 6–8: at every time instant, color the vector of generator
         // outputs with the Eq.-19 variance.
         let scale = 1.0 / self.sigma_g_sq.sqrt();
-        let data = block.as_mut_slice();
-        for l in 0..m {
-            for j in 0..n {
-                self.w[j] = self.raw[j * m + l];
-            }
-            self.coloring.matrix.matvec_into(&self.w, &mut self.z);
-            for j in 0..n {
-                data[j * m + l] = self.z[j].scale(scale);
-            }
-        }
+        kernel::color_block(
+            n,
+            m,
+            self.coloring.matrix.as_slice(),
+            scale,
+            &self.raw,
+            block.as_mut_slice(),
+            &mut self.w,
+            &mut self.planes,
+        );
     }
 
     /// Generates one block of `M` consecutive time samples of all `N`

@@ -23,7 +23,7 @@ use corrfade_specfun::bessel_j0;
 use rand::Rng;
 
 use crate::error::DspError;
-use crate::fft::{ifft, ifft_in_place};
+use crate::fft::{ifft_in_place, irfft, rfft_len};
 
 /// Young's Doppler filter (paper Eq. 21): the square root of a discretized
 /// Jakes power spectral density, with the band-edge bins adjusted so that the
@@ -133,11 +133,24 @@ impl DopplerFilter {
     /// The sequence `g[d] = (1/M)·Σ_k F[k]²·e^{i2πkd/M}` of Eq. (17); the
     /// theoretical (non-normalized) autocorrelation of the generator output
     /// is `σ²_orig/M · Re{g[d]}` (Eq. 16).
+    ///
+    /// The spectrum `F[k]²` is real and even (`F[k] = F[M−k]`), so `g` is a
+    /// real sequence and the inverse transform runs through [`irfft`] — one
+    /// half-size complex FFT instead of a full `M`-point one — on **every**
+    /// kernel backend. Unlike the generation paths, this analysis helper is
+    /// therefore not covered by the `CORRFADE_KERNEL=scalar` bit-exactness
+    /// pin: values agree with pre-kernel releases to ≤ 1e-12, and the
+    /// imaginary parts (previously round-off noise) are now exactly zero.
     pub fn autocorrelation_kernel(&self) -> Vec<Complex64> {
-        let squared: Vec<Complex64> = self.coeffs.iter().map(|&f| c64(f * f, 0.0)).collect();
-        ifft(&squared)
+        // The non-redundant half of the conjugate-symmetric spectrum
+        // (irfft applies the 1/M factor of Eq. 17).
+        let half: Vec<Complex64> = self.coeffs[..rfft_len(self.m)]
+            .iter()
+            .map(|&f| c64(f * f, 0.0))
+            .collect();
+        irfft(&half, self.m)
             .into_iter()
-            .map(|z| z.scale(1.0)) // ifft already applies the 1/M factor of Eq. (17)
+            .map(|g| c64(g, 0.0))
             .collect()
     }
 
@@ -215,9 +228,12 @@ impl IdftRayleighGenerator {
 
     /// Generates one fading sequence directly into a caller-owned buffer:
     /// the Doppler-weighted spectrum is written into `out` and transformed
-    /// in place, so for power-of-two `M` the call performs **no heap
-    /// allocation**. Numerically (and RNG-stream) identical to
-    /// [`IdftRayleighGenerator::generate`].
+    /// in place, so for power-of-two `M` the call performs **no
+    /// steady-state heap allocation** (on the vector kernel backend the
+    /// first transform of a given `M` builds the shared twiddle tables —
+    /// see [`crate::fft::ifft_in_place`]). Numerically (and RNG-stream)
+    /// identical to [`IdftRayleighGenerator::generate`], and bit-identical
+    /// across releases under `CORRFADE_KERNEL=scalar`.
     ///
     /// # Panics
     /// Panics if `out.len()` differs from the filter length `M`.

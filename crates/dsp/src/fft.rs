@@ -12,7 +12,36 @@
 //! `X[k] = Σ_l x[l]·e^{−i2πkl/M}` (forward), and the inverse includes the
 //! `1/M` factor, `x[l] = (1/M)·Σ_k X[k]·e^{+i2πkl/M}` — the same `1/M` that
 //! appears explicitly in Eq. (16)–(19) of the paper.
+//!
+//! # Kernel dispatch
+//!
+//! Every transform routes through the `corrfade_linalg::kernel` backend
+//! selection (`CORRFADE_KERNEL`):
+//!
+//! * the **scalar** backend runs the original iterative radix-2 butterflies
+//!   (twiddles advanced by repeated multiplication) and is bit-exact with
+//!   every pre-kernel release;
+//! * the **vector** backend uses precomputed per-stage twiddle tables
+//!   (cached per size in a process-wide plan cache, so steady-state calls
+//!   allocate nothing) whose butterflies have no serial twiddle dependency —
+//!   they autovectorize, and on `x86_64` run as AVX2+FMA multiversions.
+//!
+//! Both backends agree to well below 1e-12 for unit-scale inputs; see the
+//! `rfft_equivalence` test suite.
+//!
+//! # Real transforms
+//!
+//! [`rfft`] / [`irfft`] specialize the conjugate-symmetric case: a real
+//! signal's spectrum satisfies `X[N−k] = conj(X[k])`, so only `N/2 + 1`
+//! bins are free. Both are computed through one **half-size** complex
+//! transform plus an `O(N)` untangling pass — half the work of the generic
+//! path. The Doppler filter's autocorrelation kernel (Eq. 17), whose
+//! spectrum `F[k]²` is real and even, uses [`irfft`].
 
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock, RwLock};
+
+use corrfade_linalg::kernel::{backend, Backend};
 use corrfade_linalg::{c64, Complex64};
 
 /// Returns `true` when `n` is a power of two (and non-zero).
@@ -21,7 +50,9 @@ pub fn is_power_of_two(n: usize) -> bool {
     n != 0 && (n & (n - 1)) == 0
 }
 
-/// In-place iterative radix-2 Cooley–Tukey FFT.
+/// In-place iterative radix-2 Cooley–Tukey FFT — the scalar reference
+/// implementation (twiddles advanced by repeated multiplication, exactly as
+/// in every pre-kernel release).
 ///
 /// `invert = false` computes the forward transform, `invert = true` the
 /// unnormalized inverse (no `1/M`; [`ifft`] applies it).
@@ -73,9 +104,141 @@ fn fft_radix2_in_place(data: &mut [Complex64], invert: bool) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Planned (table-driven) power-of-two transform — the vector backend
+// ---------------------------------------------------------------------------
+
+/// Precomputed tables for one power-of-two size: the bit-reversal
+/// permutation and per-stage forward twiddle factors (`cis(−2πk/len)`, one
+/// contiguous run per stage so the butterfly loop reads them stride-1).
+#[derive(Debug)]
+struct FftTables {
+    rev: Vec<u32>,
+    /// `stages[s]` holds the `2^s` twiddles of the stage with butterfly
+    /// length `2^(s+1)`.
+    stages: Vec<Vec<Complex64>>,
+}
+
+impl FftTables {
+    fn new(n: usize) -> Self {
+        debug_assert!(is_power_of_two(n));
+        let bits = n.trailing_zeros();
+        let mut rev = vec![0u32; n];
+        for i in 1..n {
+            rev[i] = (rev[i >> 1] >> 1) | (((i & 1) as u32) << (bits - 1));
+        }
+        let mut stages = Vec::with_capacity(bits as usize);
+        let mut len = 2usize;
+        while len <= n {
+            let half = len / 2;
+            let stage: Vec<Complex64> = (0..half)
+                .map(|k| Complex64::cis(-2.0 * core::f64::consts::PI * k as f64 / len as f64))
+                .collect();
+            stages.push(stage);
+            len <<= 1;
+        }
+        Self { rev, stages }
+    }
+}
+
+/// Process-wide plan cache: tables are built once per size and shared, so
+/// steady-state planned transforms perform no heap allocation. Reads take a
+/// shared `RwLock` guard (the common case after warm-up — many parallel
+/// workers transform concurrently without serializing on the cache); the
+/// exclusive lock is only taken to insert a size seen for the first time.
+fn tables_for(n: usize) -> Arc<FftTables> {
+    static CACHE: OnceLock<RwLock<HashMap<usize, Arc<FftTables>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| RwLock::new(HashMap::new()));
+    if let Some(tables) = cache.read().expect("FFT plan cache poisoned").get(&n) {
+        return Arc::clone(tables);
+    }
+    let mut map = cache.write().expect("FFT plan cache poisoned");
+    Arc::clone(map.entry(n).or_insert_with(|| Arc::new(FftTables::new(n))))
+}
+
+/// Table-driven butterflies over the bit-reversed data. The twiddle loads
+/// are independent (no serial `w *= wlen` chain), which is what lets the
+/// loop vectorize.
+#[inline(always)]
+fn butterflies_body<const FMA: bool>(data: &mut [Complex64], tables: &FftTables, invert: bool) {
+    let n = data.len();
+    // The tables hold the forward twiddles cis(−2πk/len); the inverse
+    // transform conjugates them.
+    let sign = if invert { -1.0 } else { 1.0 };
+    for (s, stage) in tables.stages.iter().enumerate() {
+        let len = 2usize << s;
+        let half = len >> 1;
+        for start in (0..n).step_by(len) {
+            let (lo, hi) = data[start..start + len].split_at_mut(half);
+            for ((u, v), w) in lo.iter_mut().zip(hi.iter_mut()).zip(stage.iter()) {
+                let wr = w.re;
+                let wi = sign * w.im;
+                let (vr, vi) = if FMA {
+                    (v.re.mul_add(wr, -(v.im * wi)), v.re.mul_add(wi, v.im * wr))
+                } else {
+                    (v.re * wr - v.im * wi, v.re * wi + v.im * wr)
+                };
+                let (ur, ui) = (u.re, u.im);
+                u.re = ur + vr;
+                u.im = ui + vi;
+                v.re = ur - vr;
+                v.im = ui - vi;
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn butterflies_avx2(data: &mut [Complex64], tables: &FftTables, invert: bool) {
+    butterflies_body::<true>(data, tables, invert);
+}
+
+/// In-place planned transform (vector backend): table-driven bit reversal +
+/// butterflies, AVX2+FMA multiversioned on `x86_64`.
+fn fft_planned_in_place(data: &mut [Complex64], invert: bool) {
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    let tables = tables_for(n);
+    for i in 1..n {
+        let j = tables.rev[i] as usize;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    #[cfg(target_arch = "x86_64")]
+    if corrfade_linalg::kernel::vector_uses_fma() {
+        // SAFETY: guarded by the kernel layer's runtime AVX2+FMA detection.
+        unsafe { butterflies_avx2(data, &tables, invert) };
+        return;
+    }
+    butterflies_body::<false>(data, &tables, invert);
+}
+
+/// In-place power-of-two transform on an explicit backend: the scalar
+/// reference butterflies or the planned table-driven ones.
+///
+/// # Panics
+/// Panics if `data.len()` is not a power of two.
+fn fft_pow2_in_place(b: Backend, data: &mut [Complex64], invert: bool) {
+    match b {
+        Backend::Scalar => fft_radix2_in_place(data, invert),
+        Backend::Vector => {
+            assert!(
+                is_power_of_two(data.len()),
+                "radix-2 FFT requires a power-of-two length, got {}",
+                data.len()
+            );
+            fft_planned_in_place(data, invert);
+        }
+    }
+}
+
 /// Bluestein chirp-z transform for arbitrary lengths, expressed through the
-/// radix-2 core.
-fn fft_bluestein(input: &[Complex64], invert: bool) -> Vec<Complex64> {
+/// power-of-two core of the given backend.
+fn fft_bluestein(b: Backend, input: &[Complex64], invert: bool) -> Vec<Complex64> {
     let n = input.len();
     let sign = if invert { 1.0 } else { -1.0 };
     // Chirp: w[k] = exp(sign * i * pi * k^2 / n)
@@ -89,52 +252,58 @@ fn fft_bluestein(input: &[Complex64], invert: bool) -> Vec<Complex64> {
 
     let m = (2 * n - 1).next_power_of_two();
     let mut a = vec![Complex64::ZERO; m];
-    let mut b = vec![Complex64::ZERO; m];
+    let mut bb = vec![Complex64::ZERO; m];
     for k in 0..n {
         a[k] = input[k] * chirp[k];
-        b[k] = chirp[k].conj();
+        bb[k] = chirp[k].conj();
     }
     for k in 1..n {
-        b[m - k] = chirp[k].conj();
+        bb[m - k] = chirp[k].conj();
     }
 
-    fft_radix2_in_place(&mut a, false);
-    fft_radix2_in_place(&mut b, false);
+    fft_pow2_in_place(b, &mut a, false);
+    fft_pow2_in_place(b, &mut bb, false);
     for k in 0..m {
-        a[k] *= b[k];
+        a[k] *= bb[k];
     }
-    fft_radix2_in_place(&mut a, true);
+    fft_pow2_in_place(b, &mut a, true);
     let scale = 1.0 / m as f64;
     (0..n).map(|k| a[k].scale(scale) * chirp[k]).collect()
 }
 
-/// Forward DFT `X[k] = Σ_l x[l]·e^{−i2πkl/N}`.
+/// Forward DFT `X[k] = Σ_l x[l]·e^{−i2πkl/N}` on the process-wide kernel
+/// backend.
 pub fn fft(input: &[Complex64]) -> Vec<Complex64> {
+    let b = backend();
     let n = input.len();
     if n == 0 {
         return Vec::new();
     }
     if is_power_of_two(n) {
         let mut data = input.to_vec();
-        fft_radix2_in_place(&mut data, false);
+        fft_pow2_in_place(b, &mut data, false);
         data
     } else {
-        fft_bluestein(input, false)
+        fft_bluestein(b, input, false)
     }
 }
 
-/// Inverse DFT `x[l] = (1/N)·Σ_k X[k]·e^{+i2πkl/N}`.
+/// Inverse DFT `x[l] = (1/N)·Σ_k X[k]·e^{+i2πkl/N}` on the process-wide
+/// kernel backend.
 pub fn ifft(input: &[Complex64]) -> Vec<Complex64> {
+    let b = backend();
     let n = input.len();
     if n == 0 {
         return Vec::new();
     }
     let mut out = if is_power_of_two(n) {
         let mut data = input.to_vec();
-        fft_radix2_in_place(&mut data, true);
+        fft_pow2_in_place(b, &mut data, true);
         data
     } else {
-        fft_bluestein(input, true)
+        // Take the Bluestein result directly — no intermediate clone of
+        // the input.
+        fft_bluestein(b, input, true)
     };
     let scale = 1.0 / n as f64;
     for z in out.iter_mut() {
@@ -146,23 +315,46 @@ pub fn ifft(input: &[Complex64]) -> Vec<Complex64> {
 /// In-place inverse DFT: overwrites `data` with its inverse transform
 /// (including the `1/N` factor), numerically identical to [`ifft`].
 ///
+/// # Power-of-two vs. arbitrary lengths
+///
 /// For power-of-two lengths — the common case; the paper uses `M = 4096` —
-/// this performs **no heap allocation**, which is what the streaming
-/// generation hot path relies on. Other lengths fall back to the
-/// (allocating) Bluestein transform and copy the result back.
+/// the transform runs genuinely in place and performs **no steady-state
+/// heap allocation** (the scalar backend allocates nothing at all; the
+/// vector backend's twiddle tables are built once per size in a shared plan
+/// cache and reused thereafter). This is what the streaming generation hot
+/// path relies on.
+///
+/// Any other length **silently falls back to the (allocating) Bluestein
+/// chirp-z transform** — the result is still written back into `data` and
+/// is numerically identical to [`ifft`], but several transform-sized
+/// scratch vectors are allocated on every call. Callers that need the
+/// allocation-free guarantee must therefore choose a power-of-two `M`; the
+/// fallback is covered by `ifft_in_place_matches_ifft` and the
+/// `bluestein_fallback_*` tests.
 pub fn ifft_in_place(data: &mut [Complex64]) {
+    ifft_in_place_with(backend(), data);
+}
+
+/// [`ifft_in_place`] on an explicit kernel backend — the entry point the
+/// scalar-vs-vector equivalence tests and the `kernel_dispatch` benchmark
+/// drive. Same allocation behavior as [`ifft_in_place`].
+pub fn ifft_in_place_with(b: Backend, data: &mut [Complex64]) {
     let n = data.len();
     if n == 0 {
         return;
     }
     if is_power_of_two(n) {
-        fft_radix2_in_place(data, true);
+        fft_pow2_in_place(b, data, true);
         let scale = 1.0 / n as f64;
         for z in data.iter_mut() {
             *z = z.scale(scale);
         }
     } else {
-        let out = ifft(data);
+        let mut out = fft_bluestein(b, data, true);
+        let scale = 1.0 / n as f64;
+        for z in out.iter_mut() {
+            *z = z.scale(scale);
+        }
         data.copy_from_slice(&out);
     }
 }
@@ -183,9 +375,140 @@ pub fn dft_naive(input: &[Complex64]) -> Vec<Complex64> {
         .collect()
 }
 
-/// Forward DFT of a real signal (convenience wrapper).
-pub fn fft_real(input: &[f64]) -> Vec<Complex64> {
-    fft(&input.iter().map(|&x| c64(x, 0.0)).collect::<Vec<_>>())
+// ---------------------------------------------------------------------------
+// Real (conjugate-symmetric) transforms
+// ---------------------------------------------------------------------------
+
+/// Number of spectral bins [`rfft`] produces for a real signal of length
+/// `n`: `⌊n/2⌋ + 1` (the rest of the spectrum is determined by conjugate
+/// symmetry).
+#[inline]
+#[must_use]
+pub fn rfft_len(n: usize) -> usize {
+    if n == 0 {
+        0
+    } else {
+        n / 2 + 1
+    }
+}
+
+/// The `⌊n/2⌋ + 1` untangling twiddles `cis(−2πk/n)`, `k = 0 ..= n/2`,
+/// cached per size in their own process-wide registry so the `O(n)`
+/// rfft/irfft untangling pass performs no `sin`/`cos` calls after the
+/// first transform of a size. The cache is independent of the complex-FFT
+/// plan cache: it is an order of magnitude smaller than a full plan and is
+/// used by every backend (the scalar FFT never needs plan tables).
+fn untangle_twiddles(n: usize) -> Arc<Vec<Complex64>> {
+    static CACHE: OnceLock<RwLock<HashMap<usize, Arc<Vec<Complex64>>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| RwLock::new(HashMap::new()));
+    if let Some(tw) = cache.read().expect("untangle cache poisoned").get(&n) {
+        return Arc::clone(tw);
+    }
+    let mut map = cache.write().expect("untangle cache poisoned");
+    Arc::clone(map.entry(n).or_insert_with(|| {
+        Arc::new(
+            (0..=n / 2)
+                .map(|k| Complex64::cis(-2.0 * core::f64::consts::PI * k as f64 / n as f64))
+                .collect(),
+        )
+    }))
+}
+
+/// Forward DFT of a **real** signal, returning only the `⌊n/2⌋ + 1`
+/// non-redundant bins `X[0] ..= X[⌊n/2⌋]` (the remaining bins satisfy
+/// `X[n−k] = conj(X[k])`).
+///
+/// For even `n` the transform is computed through one half-size complex FFT
+/// of the packed signal `z[j] = x[2j] + i·x[2j+1]` plus an `O(n)`
+/// untangling pass — half the work of transforming the complexified signal.
+/// Odd lengths fall back to the full complex transform and truncate.
+///
+/// This subsumes the old `fft_real` helper (which transformed the
+/// complexified signal and returned all `n` redundant bins); reconstruct
+/// the full spectrum from the conjugate symmetry if you need it.
+pub fn rfft(input: &[f64]) -> Vec<Complex64> {
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![c64(input[0], 0.0)];
+    }
+    if n % 2 != 0 {
+        let full = fft(&input.iter().map(|&x| c64(x, 0.0)).collect::<Vec<_>>());
+        return full[..rfft_len(n)].to_vec();
+    }
+    let h = n / 2;
+    let packed: Vec<Complex64> = (0..h)
+        .map(|j| c64(input[2 * j], input[2 * j + 1]))
+        .collect();
+    let zf = fft(&packed);
+    let tw = untangle_twiddles(n);
+    let mut out = Vec::with_capacity(h + 1);
+    for k in 0..=h {
+        let zk = zf[k % h];
+        let zs = zf[(h - k) % h].conj();
+        // zf[k] = E[k] + i·O[k] with E/O the DFTs of the even/odd samples.
+        let even = (zk + zs).scale(0.5);
+        let t = (zk - zs).scale(0.5); // = i·O[k]
+        let odd = c64(t.im, -t.re);
+        out.push(even + tw[k] * odd);
+    }
+    out
+}
+
+/// Inverse of [`rfft`]: reconstructs the length-`n` **real** signal from
+/// its `⌊n/2⌋ + 1` non-redundant spectral bins.
+///
+/// The spectrum is assumed conjugate-symmetric (the imaginary parts of the
+/// DC and — for even `n` — Nyquist bins are taken at face value; pass a
+/// genuinely Hermitian half-spectrum, e.g. one produced by [`rfft`], for an
+/// exact round trip). Even lengths run through one half-size complex
+/// inverse FFT; odd lengths mirror the spectrum and fall back to [`ifft`].
+///
+/// # Panics
+/// Panics if `spectrum.len() != rfft_len(n)`.
+pub fn irfft(spectrum: &[Complex64], n: usize) -> Vec<f64> {
+    assert_eq!(
+        spectrum.len(),
+        rfft_len(n),
+        "irfft: expected {} bins for a length-{n} signal, got {}",
+        rfft_len(n),
+        spectrum.len()
+    );
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![spectrum[0].re];
+    }
+    if n % 2 != 0 {
+        let mut full = vec![Complex64::ZERO; n];
+        full[..spectrum.len()].copy_from_slice(spectrum);
+        for k in spectrum.len()..n {
+            full[k] = spectrum[n - k].conj();
+        }
+        return ifft(&full).into_iter().map(|z| z.re).collect();
+    }
+    let h = n / 2;
+    let tw = untangle_twiddles(n);
+    let mut packed = Vec::with_capacity(h);
+    for k in 0..h {
+        let xk = spectrum[k];
+        let xs = spectrum[h - k].conj(); // = X[k + h] by conjugate symmetry
+        let even = (xk + xs).scale(0.5);
+        let diff = (xk - xs).scale(0.5);
+        let odd = diff * tw[k].conj(); // cis(+2πk/n)
+                                       // z[j] = x[2j] + i·x[2j+1] has spectrum E[k] + i·O[k].
+        packed.push(even + c64(-odd.im, odd.re));
+    }
+    let z = ifft(&packed);
+    let mut out = Vec::with_capacity(n);
+    for zj in z {
+        out.push(zj.re);
+        out.push(zj.im);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -208,6 +531,12 @@ mod tests {
                 let t = i as f64;
                 c64((0.3 * t).sin() + 0.1 * t.cos(), (0.7 * t).cos() - 0.05 * t)
             })
+            .collect()
+    }
+
+    fn real_signal(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (i as f64 * 0.37).sin() + 0.2 * (i as f64 * 0.11).cos())
             .collect()
     }
 
@@ -317,13 +646,90 @@ mod tests {
     }
 
     #[test]
-    fn real_signal_spectrum_is_conjugate_symmetric() {
-        let x: Vec<f64> = (0..32).map(|i| (i as f64 * 0.37).sin()).collect();
-        let spec = fft_real(&x);
-        let n = spec.len();
-        for k in 1..n {
-            assert!(spec[k].approx_eq(spec[n - k].conj(), 1e-10));
+    fn scalar_and_vector_backends_agree() {
+        for n in [2usize, 8, 64, 1024] {
+            let x = test_signal(n);
+            let mut s = x.clone();
+            let mut v = x.clone();
+            fft_pow2_in_place(Backend::Scalar, &mut s, false);
+            fft_pow2_in_place(Backend::Vector, &mut v, false);
+            // Unnormalized forward spectra grow with the signal norm; the
+            // ≤1e-12 contract is for unit-scale values.
+            let peak = s.iter().map(|z| z.abs()).fold(1.0, f64::max);
+            assert_close(&s, &v, 1e-12 * peak);
+
+            let mut s = x.clone();
+            let mut v = x;
+            ifft_in_place_with(Backend::Scalar, &mut s);
+            ifft_in_place_with(Backend::Vector, &mut v);
+            assert_close(&s, &v, 1e-12);
         }
+    }
+
+    #[test]
+    fn rfft_matches_full_transform() {
+        for n in [2usize, 8, 9, 15, 16, 64, 100, 256] {
+            let x = real_signal(n);
+            let full = fft(&x.iter().map(|&v| c64(v, 0.0)).collect::<Vec<_>>());
+            let half = rfft(&x);
+            assert_eq!(half.len(), rfft_len(n), "n = {n}");
+            assert_close(&half, &full[..rfft_len(n)], 1e-10);
+        }
+    }
+
+    #[test]
+    fn rfft_spectrum_determines_the_rest_by_symmetry() {
+        let x = real_signal(32);
+        let full = fft(&x.iter().map(|&v| c64(v, 0.0)).collect::<Vec<_>>());
+        for k in 1..32 {
+            assert!(full[k].approx_eq(full[32 - k].conj(), 1e-10));
+        }
+        assert!(rfft(&x)[0].im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn irfft_round_trips_rfft() {
+        for n in [1usize, 2, 7, 8, 15, 16, 100, 256, 1000] {
+            let x = real_signal(n);
+            let back = irfft(&rfft(&x), n);
+            assert_eq!(back.len(), n);
+            for (i, (&a, &b)) in x.iter().zip(back.iter()).enumerate() {
+                assert!((a - b).abs() < 1e-10, "n = {n}, index {i}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn irfft_matches_hermitian_ifft() {
+        let n = 64;
+        let x = real_signal(n);
+        let half = rfft(&x);
+        let mut full = vec![Complex64::ZERO; n];
+        full[..half.len()].copy_from_slice(&half);
+        for k in half.len()..n {
+            full[k] = half[n - k].conj();
+        }
+        let via_ifft = ifft(&full);
+        let via_irfft = irfft(&half, n);
+        for (a, b) in via_ifft.iter().zip(via_irfft.iter()) {
+            assert!((a.re - b).abs() < 1e-11);
+            assert!(a.im.abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "irfft: expected")]
+    fn irfft_checks_bin_count() {
+        let _ = irfft(&[Complex64::ZERO; 4], 4);
+    }
+
+    #[test]
+    fn empty_real_transforms() {
+        assert!(rfft(&[]).is_empty());
+        assert!(irfft(&[], 0).is_empty());
+        assert_eq!(rfft_len(0), 0);
+        assert_eq!(rfft_len(9), 5);
+        assert_eq!(rfft_len(8), 5);
     }
 
     #[test]
@@ -354,6 +760,25 @@ mod tests {
         let mut empty: Vec<Complex64> = Vec::new();
         ifft_in_place(&mut empty);
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn bluestein_fallback_is_documented_behavior() {
+        // Non-power-of-two lengths are legal for ifft_in_place: they
+        // allocate internally (Bluestein) but still write the exact inverse
+        // transform into the caller's buffer — on both backends, which must
+        // agree with each other and with the O(N²) reference.
+        for n in [3usize, 12, 100, 500] {
+            let x = test_signal(n);
+            let mut scalar = x.clone();
+            ifft_in_place_with(Backend::Scalar, &mut scalar);
+            let mut vector = x.clone();
+            ifft_in_place_with(Backend::Vector, &mut vector);
+            assert_close(&scalar, &vector, 1e-12);
+            // Forward-transforming the inverse with the naive DFT recovers
+            // the input.
+            assert_close(&dft_naive(&scalar), &x, 1e-8 * n as f64);
+        }
     }
 
     #[test]

@@ -3,7 +3,11 @@
 //! Signal-processing substrate of the `corrfade` workspace:
 //!
 //! * [`mod@fft`] — radix-2 and Bluestein forward/inverse DFTs (the paper's
-//!   real-time generator is built around an `M = 4096`-point IDFT),
+//!   real-time generator is built around an `M = 4096`-point IDFT) plus the
+//!   real-signal [`rfft`]/[`irfft`] pair that halves the work of the
+//!   conjugate-symmetric transforms; every transform dispatches through the
+//!   `corrfade_linalg::kernel` backend selection (scalar reference vs.
+//!   table-driven vectorized butterflies),
 //! * [`doppler`] — Young's Doppler filter (paper Eq. 21), its output-variance
 //!   formula (Eq. 19) and the Young–Beaulieu IDFT Rayleigh generator
 //!   (paper ref. \[7\], Fig. 2) that the proposed algorithm stacks `N` of in
@@ -17,4 +21,6 @@ pub mod fft;
 
 pub use doppler::{DopplerFilter, IdftRayleighGenerator};
 pub use error::DspError;
-pub use fft::{dft_naive, fft, fft_real, ifft, ifft_in_place, is_power_of_two};
+pub use fft::{
+    dft_naive, fft, ifft, ifft_in_place, ifft_in_place_with, irfft, is_power_of_two, rfft, rfft_len,
+};

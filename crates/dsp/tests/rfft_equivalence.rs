@@ -1,0 +1,65 @@
+//! Property-based coverage of the real-FFT pair and the scalar-vs-vector
+//! FFT backend equivalence:
+//!
+//! * `irfft(rfft(x)) ≈ x` for random real signals of random length — even
+//!   (half-size fast path) and odd (mirror fallback) alike,
+//! * `rfft` equals the non-redundant prefix of the full complex transform,
+//! * the scalar and vector (planned, table-driven) inverse transforms agree
+//!   to ≤ 1e-12 for unit-scale inputs on power-of-two and Bluestein
+//!   lengths.
+
+use corrfade_dsp::{fft, ifft_in_place_with, irfft, rfft, rfft_len};
+use corrfade_linalg::{c64, Backend, Complex64};
+use proptest::prelude::*;
+
+fn rvec(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1.0f64..1.0, len)
+}
+
+fn cvec(len: usize) -> impl Strategy<Value = Vec<Complex64>> {
+    proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), len)
+        .prop_map(|v| v.into_iter().map(|(re, im)| c64(re, im)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Round trip through the half-spectrum representation.
+    #[test]
+    fn rfft_irfft_round_trip(len in 1usize..300, entries in rvec(300)) {
+        let x = &entries[..len];
+        let spec = rfft(x);
+        prop_assert_eq!(spec.len(), rfft_len(len));
+        let back = irfft(&spec, len);
+        prop_assert_eq!(back.len(), len);
+        for (i, (&a, &b)) in x.iter().zip(back.iter()).enumerate() {
+            prop_assert!((a - b).abs() <= 1e-11, "len={len} index {i}: {a} vs {b}");
+        }
+    }
+
+    /// The half spectrum is the prefix of the full complex spectrum.
+    #[test]
+    fn rfft_matches_complex_prefix(len in 1usize..200, entries in rvec(200)) {
+        let x = &entries[..len];
+        let half = rfft(x);
+        let full = fft(&x.iter().map(|&v| c64(v, 0.0)).collect::<Vec<_>>());
+        for (k, (&h, &f)) in half.iter().zip(full.iter()).enumerate() {
+            prop_assert!(h.approx_eq(f, 1e-11), "len={len} bin {k}: {h} vs {f}");
+        }
+    }
+
+    /// Scalar and vector inverse transforms agree on arbitrary lengths
+    /// (powers of two hit the planned path, the rest the Bluestein
+    /// fallback built on it).
+    #[test]
+    fn ifft_backends_agree(len in 1usize..520, entries in cvec(520)) {
+        let x = &entries[..len];
+        let mut s = x.to_vec();
+        let mut v = x.to_vec();
+        ifft_in_place_with(Backend::Scalar, &mut s);
+        ifft_in_place_with(Backend::Vector, &mut v);
+        for (i, (&a, &b)) in s.iter().zip(v.iter()).enumerate() {
+            prop_assert!(a.approx_eq(b, 1e-12), "len={len} index {i}: {a} vs {b}");
+        }
+    }
+}

@@ -167,9 +167,7 @@ impl SampleBlock {
             return;
         }
         self.env.resize(self.data.len(), 0.0);
-        for (e, z) in self.env.iter_mut().zip(self.data.iter()) {
-            *e = z.abs();
-        }
+        crate::kernel::envelope_into(&self.data, &mut self.env);
         self.env_valid = true;
     }
 
@@ -216,8 +214,12 @@ impl SampleBlock {
     /// Divide by the accumulated sample count to obtain the sample
     /// covariance.
     ///
-    /// The summation runs sample-major (`l` outermost), matching the order
-    /// of `sample_covariance` over materialized snapshots bit for bit.
+    /// Dispatches through [`crate::kernel`]. On the scalar backend the
+    /// summation runs sample-major (`l` outermost), matching the order of
+    /// `sample_covariance` over materialized snapshots bit for bit; the
+    /// vector backend reduces envelope pairs with multi-lane accumulators
+    /// (within ≤ 1e-12 of scalar for unit-scale data) and mirrors the
+    /// Hermitian image exactly.
     ///
     /// # Panics
     /// Panics if `acc` is not `N × N`.
@@ -230,14 +232,7 @@ impl SampleBlock {
             "accumulate_covariance: accumulator shape {:?} does not match N = {n}",
             acc.shape()
         );
-        for l in 0..m {
-            for a in 0..n {
-                let za = self.data[a * m + l];
-                for b in 0..n {
-                    acc[(a, b)] += za * self.data[b * m + l].conj();
-                }
-            }
-        }
+        crate::kernel::accumulate_covariance(n, m, &self.data, acc.as_mut_slice());
     }
 
     /// Copies the block out into the legacy `Vec<Vec<Complex64>>` per-path
@@ -428,7 +423,11 @@ mod tests {
                 }
             }
         }
-        assert!(acc.approx_eq(&expected, 0.0));
+        // The vector kernel backend may sum in a different order than the
+        // manual sample-major fold, so compare with a tight tolerance
+        // instead of bit equality (the scalar backend is bit-exact).
+        assert!(acc.approx_eq(&expected, 1e-12));
+        assert!(acc.is_hermitian(1e-12));
     }
 
     #[test]

@@ -17,6 +17,11 @@
 //! * `K = L·Lᴴ` — [`cholesky::cholesky`] for the conventional baselines,
 //! * Frobenius-distance and PSD checks used throughout the test and
 //!   benchmark suites.
+//!
+//! The per-sample hot loops (coloring matvec, covariance fold, envelope
+//! pass) dispatch through the [`kernel`] module, which selects a scalar
+//! (bit-exact reference) or vectorized backend once per process — see the
+//! [`kernel`] docs and the `CORRFADE_KERNEL` override.
 
 #![warn(missing_docs)]
 
@@ -25,6 +30,7 @@ pub mod cholesky;
 pub mod complex;
 pub mod eigen;
 pub mod error;
+pub mod kernel;
 pub mod matrix;
 pub mod vector;
 
@@ -33,6 +39,7 @@ pub use cholesky::{cholesky, cholesky_real, cholesky_with_tol, is_positive_defin
 pub use complex::{c64, Complex64};
 pub use eigen::{hermitian_eigen, symmetric_eigen, HermitianEigen, SymmetricEigen};
 pub use error::LinalgError;
+pub use kernel::Backend;
 pub use matrix::{CMatrix, RMatrix};
 
 #[cfg(test)]

@@ -262,28 +262,24 @@ impl CMatrix {
         self.scale(Complex64::from_real(alpha))
     }
 
-    /// Matrix–vector product `A·x`.
+    /// Matrix–vector product `A·x`. Allocating wrapper over
+    /// [`CMatrix::matvec_into`] — both go through the same
+    /// [`crate::kernel`] backend, so the two entry points stay bit-identical
+    /// to each other on every backend.
     ///
     /// # Panics
     /// Panics if `x.len() != self.cols()`.
     pub fn matvec(&self, x: &[Complex64]) -> Vec<Complex64> {
-        assert_eq!(
-            x.len(),
-            self.cols,
-            "matvec: vector length {} does not match cols {}",
-            x.len(),
-            self.cols
-        );
-        let mut y = Vec::with_capacity(self.rows);
-        for i in 0..self.rows {
-            y.push(vector::dot(self.row_slice(i), x));
-        }
+        let mut y = vec![Complex64::ZERO; self.rows];
+        self.matvec_into(x, &mut y);
         y
     }
 
     /// Matrix–vector product `A·x` written into a caller-owned buffer — the
     /// allocation-free primitive behind the streaming `Z = L·W/σ_g` hot
-    /// path.
+    /// path. Dispatches through [`crate::kernel`]: the scalar backend is
+    /// the historical per-row [`vector::dot`] fold (bit-exact), the vector
+    /// backend a multi-lane reduction within ≤ 1e-12 of it.
     ///
     /// # Panics
     /// Panics if `x.len() != self.cols()` or `y.len() != self.rows()`.
@@ -302,9 +298,7 @@ impl CMatrix {
             y.len(),
             self.rows
         );
-        for (i, yi) in y.iter_mut().enumerate() {
-            *yi = vector::dot(self.row_slice(i), x);
-        }
+        crate::kernel::matvec_into(self.rows, self.cols, &self.data, x, y);
     }
 
     /// Matrix–matrix product `A·B`.

@@ -17,6 +17,13 @@
 //!
 //! Because chunk seeds depend only on `(master seed, chunk index)`, the
 //! produced ensemble is identical for any thread count.
+//!
+//! All per-sample work inside the workers (the coloring matvec, the
+//! covariance fold, the Doppler IDFT) runs on the
+//! [`corrfade_linalg::kernel`] dispatch layer; the engine latches the
+//! backend (and, on the vector backend, warms the CPU-feature detection)
+//! once on the calling thread before any worker spawns, so
+//! `CORRFADE_KERNEL` is honoured deterministically across the pool.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -65,7 +72,9 @@ impl ParallelConfig {
         }
     }
 
-    /// Checks the configuration for values that could never run.
+    /// Checks the configuration for values that could never run, and
+    /// latches the process-wide numeric-kernel backend so the worker pool
+    /// never races the first `CORRFADE_KERNEL` lookup.
     ///
     /// # Errors
     /// [`ParallelError::InvalidChunkSize`] when `chunk_size` is zero.
@@ -73,6 +82,7 @@ impl ParallelConfig {
         if self.chunk_size == 0 {
             return Err(ParallelError::InvalidChunkSize);
         }
+        let _ = corrfade_linalg::kernel::backend();
         Ok(())
     }
 }
@@ -215,7 +225,9 @@ pub fn generate_realtime_paths(
     config: &ParallelConfig,
 ) -> Result<Vec<Vec<Complex64>>, ParallelError> {
     // Validate the configuration (and pay for the decomposition + filter
-    // design) once up front so workers cannot fail.
+    // design) once up front so workers cannot fail; latch the kernel
+    // backend before the pool spawns.
+    let _ = corrfade_linalg::kernel::backend();
     let prototype = RealtimeGenerator::new(RealtimeConfig {
         covariance: base.covariance.clone(),
         ..*base

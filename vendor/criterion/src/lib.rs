@@ -10,10 +10,32 @@
 //! run, so relative comparisons (sequential vs. parallel, one IDFT size vs.
 //! another) remain meaningful. There is no statistical regression analysis
 //! and no HTML report.
+//!
+//! # Machine-readable output
+//!
+//! When the `CORRFADE_BENCH_JSON_DIR` environment variable is set, the
+//! `criterion_main!`-generated `main` additionally writes every measured
+//! median to `<dir>/BENCH_<bench-name>.json` (bench name = the benchmark
+//! executable's file stem with cargo's `-<hash>` suffix stripped). The
+//! format is deliberately flat — one result object per line — so the
+//! `bench_regression_check` comparator in `corrfade-bench` can parse it
+//! without a JSON dependency:
+//!
+//! ```json
+//! {
+//!   "bench": "doppler_idft",
+//!   "results": [
+//!     {"id": "doppler/ifft/4096", "median_ns": 103050.0, "throughput": {"elements": 4096}},
+//!     {"id": "doppler/filter_design/1024", "median_ns": 1640.0}
+//!   ]
+//! }
+//! ```
 
 #![warn(missing_docs)]
 
 use std::fmt;
+use std::fmt::Write as _;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -134,6 +156,16 @@ fn format_ns(ns: f64) -> String {
     }
 }
 
+/// One measured benchmark, retained for the optional JSON report.
+struct Measured {
+    id: String,
+    median_ns: f64,
+    throughput: Option<Throughput>,
+}
+
+/// Every median measured by this process, in report order.
+static MEASURED: Mutex<Vec<Measured>> = Mutex::new(Vec::new());
+
 fn report(group: &str, id: &str, median_ns: f64, throughput: Option<Throughput>) {
     let name = if group.is_empty() {
         id.to_string()
@@ -149,6 +181,89 @@ fn report(group: &str, id: &str, median_ns: f64, throughput: Option<Throughput>)
         line.push_str(&format!("  {per_sec:>16}"));
     }
     println!("{line}");
+    MEASURED
+        .lock()
+        .expect("bench result registry")
+        .push(Measured {
+            id: name,
+            median_ns,
+            throughput,
+        });
+}
+
+/// Minimal JSON string escaping (benchmark ids are plain ASCII, but be
+/// safe about quotes/backslashes/control characters).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The benchmark name: executable file stem with cargo's trailing
+/// `-<16 hex>` disambiguation hash stripped.
+fn bench_name() -> String {
+    let stem = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+        .unwrap_or_else(|| "unknown".to_string());
+    match stem.rsplit_once('-') {
+        Some((base, hash)) if hash.len() == 16 && hash.chars().all(|c| c.is_ascii_hexdigit()) => {
+            base.to_string()
+        }
+        _ => stem,
+    }
+}
+
+/// Writes the collected medians as `BENCH_<name>.json` into
+/// `$CORRFADE_BENCH_JSON_DIR`, if that variable is set. Called by the
+/// `criterion_main!`-generated `main` after all groups ran; a no-op (with
+/// nothing collected cleared either way) when the variable is unset.
+///
+/// # Panics
+/// Panics if the directory or file cannot be written — a benchmark run
+/// asked to persist its medians must not silently drop them.
+pub fn write_json_report() {
+    let Ok(dir) = std::env::var("CORRFADE_BENCH_JSON_DIR") else {
+        return;
+    };
+    let name = bench_name();
+    let measured = MEASURED.lock().expect("bench result registry");
+    let mut body = String::new();
+    body.push_str("{\n");
+    let _ = writeln!(body, "  \"bench\": \"{}\",", json_escape(&name));
+    body.push_str("  \"results\": [\n");
+    for (i, m) in measured.iter().enumerate() {
+        let sep = if i + 1 == measured.len() { "" } else { "," };
+        let throughput = match m.throughput {
+            Some(Throughput::Elements(n)) => format!(", \"throughput\": {{\"elements\": {n}}}"),
+            Some(Throughput::Bytes(n)) => format!(", \"throughput\": {{\"bytes\": {n}}}"),
+            None => String::new(),
+        };
+        let _ = writeln!(
+            body,
+            "    {{\"id\": \"{}\", \"median_ns\": {:.1}{}}}{}",
+            json_escape(&m.id),
+            m.median_ns,
+            throughput,
+            sep
+        );
+    }
+    body.push_str("  ]\n}\n");
+    std::fs::create_dir_all(&dir)
+        .unwrap_or_else(|e| panic!("cannot create bench JSON dir {dir}: {e}"));
+    let path = std::path::Path::new(&dir).join(format!("BENCH_{name}.json"));
+    std::fs::write(&path, body)
+        .unwrap_or_else(|e| panic!("cannot write bench JSON {}: {e}", path.display()));
+    println!("bench medians written to {}", path.display());
 }
 
 /// A named collection of related benchmarks sharing throughput/sample-size
@@ -256,12 +371,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares the benchmark `main` that runs the listed groups.
+/// Declares the benchmark `main` that runs the listed groups and then
+/// persists the medians as JSON when `CORRFADE_BENCH_JSON_DIR` is set.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_json_report();
         }
     };
 }
@@ -282,6 +399,31 @@ mod tests {
     fn benchmark_ids_format() {
         assert_eq!(BenchmarkId::new("f", 4).id, "f/4");
         assert_eq!(BenchmarkId::from_parameter(4096).id, "4096");
+    }
+
+    #[test]
+    fn json_escaping_and_bench_name() {
+        assert_eq!(json_escape("doppler/ifft/4096"), "doppler/ifft/4096");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny"), "x\\u000ay");
+        // The test binary's own stem ends in a cargo hash, so the name must
+        // not contain one.
+        let name = bench_name();
+        assert!(!name.is_empty());
+        if let Some((_, tail)) = name.rsplit_once('-') {
+            assert!(!(tail.len() == 16 && tail.chars().all(|c| c.is_ascii_hexdigit())));
+        }
+    }
+
+    #[test]
+    fn measured_results_are_collected() {
+        let before = MEASURED.lock().unwrap().len();
+        report("g", "case", 123.0, Some(Throughput::Elements(7)));
+        let measured = MEASURED.lock().unwrap();
+        assert!(measured.len() > before);
+        let last = measured.last().unwrap();
+        assert_eq!(last.id, "g/case");
+        assert_eq!(last.median_ns, 123.0);
     }
 
     #[test]
