@@ -1,0 +1,65 @@
+//! Bench: the multi-stream batch engine driving **all 16 registered
+//! scenarios concurrently** — the ROADMAP's "many simultaneous workloads"
+//! serving shape.
+//!
+//! * `fleet/advance_all16/*` measures one batch advance (every stream's
+//!   next Doppler block) sequentially on the calling thread, on the global
+//!   pool, and on explicit pools of several sizes. On a multi-core machine
+//!   the pooled ids are expected to scale near-linearly with the worker
+//!   count until streams run out (16 independent streams, uncontended
+//!   locks, zero steady-state allocation).
+//! * `fleet/open_all16/*` measures fleet construction with a cold vs warm
+//!   process-wide decomposition cache — the per-stream setup the cache
+//!   amortizes away for every open after the first.
+
+use corrfade_parallel::{Runtime, StreamFleet};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_fleet_advance(c: &mut Criterion) {
+    let names = corrfade_scenarios::names();
+    assert_eq!(names.len(), 16, "the full catalog is the fleet under test");
+    let mut fleet = StreamFleet::open(&names, 7).unwrap();
+    let samples = fleet.samples_per_advance() as u64;
+
+    let mut group = c.benchmark_group("fleet/advance_all16");
+    group.throughput(Throughput::Elements(samples));
+    group.sample_size(10);
+
+    group.bench_function("sequential", |b| {
+        b.iter(|| fleet.advance_sequential().unwrap())
+    });
+    group.bench_function("pooled_global", |b| b.iter(|| fleet.advance().unwrap()));
+    for &workers in &[2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("pooled", workers),
+            &workers,
+            |b, &workers| {
+                let rt = Runtime::new(workers);
+                b.iter(|| fleet.advance_on(&rt).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fleet_open(c: &mut Criterion) {
+    let names = corrfade_scenarios::names();
+    let mut group = c.benchmark_group("fleet/open_all16");
+    group.sample_size(10);
+
+    group.bench_function("cold_cache", |b| {
+        b.iter(|| {
+            corrfade::clear_coloring_caches();
+            StreamFleet::open(&names, 7).unwrap()
+        })
+    });
+    group.bench_function("warm_cache", |b| {
+        // Populate once, then every open shares the cached decompositions.
+        let _warm = StreamFleet::open(&names, 7).unwrap();
+        b.iter(|| StreamFleet::open(&names, 7).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fleet_advance, bench_fleet_open);
+criterion_main!(benches);

@@ -63,6 +63,7 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod cache;
 pub mod coloring;
 pub mod error;
 pub mod generator;
@@ -72,6 +73,9 @@ pub mod realtime;
 pub mod stream;
 
 pub use builder::GeneratorBuilder;
+pub use cache::{
+    cached_cholesky_coloring, cached_eigen_coloring, clear_coloring_caches, coloring_cache_stats,
+};
 pub use coloring::{cholesky_coloring, eigen_coloring, Coloring};
 pub use error::CorrfadeError;
 pub use generator::{CorrelatedRayleighGenerator, Sample};

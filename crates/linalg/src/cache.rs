@@ -1,0 +1,240 @@
+//! Generic process-wide caching of derived matrix factorizations.
+//!
+//! The covariance matrices driving correlated-Rayleigh generation are small
+//! but expensive to decompose relative to the per-block work, and realistic
+//! deployments open *many* generators over a handful of distinct matrices —
+//! one per named scenario. [`FactorCache`] is the shared storage behind
+//! those "pay for the decomposition once per process" paths: a bounded,
+//! mutex-guarded map from the **exact bit pattern** of a matrix
+//! ([`MatrixKey`]) to an `Arc` of whatever was derived from it (an
+//! eigen-coloring, a Cholesky factor, …).
+//!
+//! Keying on `f64::to_bits` of every entry makes cache hits *trivially*
+//! bit-identical to the uncached path: a hit returns the very value a fresh
+//! computation of the same input would have produced (the factorizations in
+//! this workspace are deterministic functions of their input), so the
+//! golden/determinism guarantees of the scalar kernel backend carry over
+//! unchanged.
+//!
+//! Hit/miss/eviction counters are exposed through [`FactorCache::stats`] so
+//! integration tests can observe sharing (e.g. two scenarios with the same
+//! covariance spec must produce exactly one decomposition).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::matrix::CMatrix;
+
+/// The exact bit pattern of a complex matrix: shape plus `f64::to_bits` of
+/// every entry's real and imaginary part, in row-major order.
+///
+/// Two matrices map to the same key **iff** they are bitwise identical
+/// (`0.0` and `-0.0` differ, as do distinct NaN payloads — both are the
+/// conservative choice for a cache that promises bit-identical results).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MatrixKey {
+    rows: usize,
+    cols: usize,
+    bits: Vec<u64>,
+}
+
+impl MatrixKey {
+    /// Captures the key of a matrix.
+    #[must_use]
+    pub fn of(matrix: &CMatrix) -> Self {
+        let mut bits = Vec::with_capacity(2 * matrix.as_slice().len());
+        for z in matrix.as_slice() {
+            bits.push(z.re.to_bits());
+            bits.push(z.im.to_bits());
+        }
+        Self {
+            rows: matrix.rows(),
+            cols: matrix.cols(),
+            bits,
+        }
+    }
+}
+
+/// Counters of one [`FactorCache`], read with [`FactorCache::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute (and store) a fresh value.
+    pub misses: u64,
+    /// Entries dropped because the cache was at capacity.
+    pub evictions: u64,
+    /// Entries currently stored.
+    pub entries: usize,
+}
+
+/// A bounded, process-wide map from [`MatrixKey`] to a shared derived value.
+///
+/// Designed to live in a `static`: construction is `const`, and all state is
+/// behind a `Mutex` + atomics. The value is computed **while holding the
+/// lock**, so concurrent first requests for the same key serialize and the
+/// expensive factorization is never performed twice; every later request is
+/// a cheap clone of the stored `Arc`.
+///
+/// When full, the entry with the smallest key is evicted — deterministic and
+/// cheap; with capacities far above the number of distinct matrices a
+/// workload touches (the scenario registry holds a few dozen), eviction is a
+/// safety valve against unbounded growth (e.g. property tests feeding random
+/// matrices), not a tuned replacement policy.
+#[derive(Debug)]
+pub struct FactorCache<T> {
+    entries: Mutex<BTreeMap<MatrixKey, Arc<T>>>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl<T> FactorCache<T> {
+    /// Creates an empty cache holding at most `capacity` entries
+    /// (`capacity == 0` disables storage: every lookup recomputes).
+    #[must_use]
+    pub const fn new(capacity: usize) -> Self {
+        Self {
+            entries: Mutex::new(BTreeMap::new()),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the cached value for `key`, computing and storing it with
+    /// `compute` on a miss.
+    ///
+    /// # Errors
+    /// Propagates `compute`'s error; nothing is stored or counted as a miss
+    /// when the computation fails.
+    pub fn get_or_try_insert_with<E>(
+        &self,
+        key: MatrixKey,
+        compute: impl FnOnce() -> Result<T, E>,
+    ) -> Result<Arc<T>, E> {
+        let mut map = self.entries.lock().unwrap();
+        if let Some(hit) = map.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(hit));
+        }
+        let value = Arc::new(compute()?);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        if self.capacity > 0 {
+            if map.len() >= self.capacity {
+                let evict = map.keys().next().cloned();
+                if let Some(evict) = evict {
+                    map.remove(&evict);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            map.insert(key, Arc::clone(&value));
+        }
+        Ok(value)
+    }
+
+    /// Current counters. `hits`/`misses`/`evictions` are monotone over the
+    /// process lifetime (they survive [`FactorCache::clear`]).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.entries.lock().unwrap().len(),
+        }
+    }
+
+    /// Drops every stored entry (outstanding `Arc`s stay alive). Counters
+    /// are not reset.
+    pub fn clear(&self) {
+        self.entries.lock().unwrap().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+    use std::convert::Infallible;
+
+    fn mat(seed: f64) -> CMatrix {
+        CMatrix::from_fn(2, 2, |i, j| c64(seed + i as f64, j as f64 - seed))
+    }
+
+    #[test]
+    fn keys_are_bitwise_exact() {
+        assert_eq!(MatrixKey::of(&mat(1.0)), MatrixKey::of(&mat(1.0)));
+        assert_ne!(MatrixKey::of(&mat(1.0)), MatrixKey::of(&mat(2.0)));
+        // Same values, different shape.
+        let row = CMatrix::from_real_slice(1, 4, &[1.0, 0.0, 0.0, 1.0]);
+        let sq = CMatrix::from_real_slice(2, 2, &[1.0, 0.0, 0.0, 1.0]);
+        assert_ne!(MatrixKey::of(&row), MatrixKey::of(&sq));
+        // -0.0 is a different bit pattern than 0.0 — conservative miss.
+        let neg = CMatrix::from_real_slice(2, 2, &[1.0, -0.0, 0.0, 1.0]);
+        assert_ne!(MatrixKey::of(&neg), MatrixKey::of(&sq));
+    }
+
+    #[test]
+    fn hits_share_one_computation() {
+        let cache: FactorCache<f64> = FactorCache::new(8);
+        let mut computed = 0usize;
+        for _ in 0..3 {
+            let v = cache
+                .get_or_try_insert_with(MatrixKey::of(&mat(1.0)), || {
+                    computed += 1;
+                    Ok::<_, Infallible>(42.0)
+                })
+                .unwrap();
+            assert_eq!(*v, 42.0);
+        }
+        assert_eq!(computed, 1);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (2, 1, 1));
+    }
+
+    #[test]
+    fn errors_are_propagated_and_not_stored() {
+        let cache: FactorCache<f64> = FactorCache::new(8);
+        let err = cache.get_or_try_insert_with(MatrixKey::of(&mat(1.0)), || Err::<f64, _>("nope"));
+        assert_eq!(err.unwrap_err(), "nope");
+        assert_eq!(cache.stats().entries, 0);
+        assert_eq!(cache.stats().misses, 0);
+    }
+
+    #[test]
+    fn capacity_bounds_the_store() {
+        let cache: FactorCache<usize> = FactorCache::new(2);
+        for i in 0..5usize {
+            cache
+                .get_or_try_insert_with(MatrixKey::of(&mat(i as f64)), || Ok::<_, Infallible>(i))
+                .unwrap();
+        }
+        let s = cache.stats();
+        assert_eq!(s.entries, 2);
+        assert_eq!(s.evictions, 3);
+
+        let disabled: FactorCache<usize> = FactorCache::new(0);
+        for _ in 0..2 {
+            disabled
+                .get_or_try_insert_with(MatrixKey::of(&mat(0.0)), || Ok::<_, Infallible>(1))
+                .unwrap();
+        }
+        assert_eq!(disabled.stats().entries, 0);
+        assert_eq!(disabled.stats().misses, 2, "capacity 0 always recomputes");
+    }
+
+    #[test]
+    fn clear_keeps_counters_and_outstanding_arcs() {
+        let cache: FactorCache<f64> = FactorCache::new(4);
+        let v = cache
+            .get_or_try_insert_with(MatrixKey::of(&mat(1.0)), || Ok::<_, Infallible>(7.0))
+            .unwrap();
+        cache.clear();
+        assert_eq!(*v, 7.0);
+        let s = cache.stats();
+        assert_eq!((s.misses, s.entries), (1, 0));
+    }
+}

@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod block;
+pub mod cache;
 pub mod cholesky;
 pub mod complex;
 pub mod eigen;
@@ -35,6 +36,7 @@ pub mod matrix;
 pub mod vector;
 
 pub use block::{BlockView, SampleBlock};
+pub use cache::{CacheStats, FactorCache, MatrixKey};
 pub use cholesky::{cholesky, cholesky_real, cholesky_with_tol, is_positive_definite};
 pub use complex::{c64, Complex64};
 pub use eigen::{hermitian_eigen, symmetric_eigen, HermitianEigen, SymmetricEigen};

@@ -2,48 +2,65 @@
 //!
 //! The expensive part of validating (or using) the generator is drawing
 //! millions of snapshots, not computing the coloring matrix — the
-//! decomposition is done once per covariance matrix. The engine therefore:
+//! decomposition is done once per covariance matrix (and shared process-wide
+//! through [`corrfade::cached_eigen_coloring`]). The engine therefore:
 //!
-//! 1. computes the eigen-coloring once on the calling thread,
-//! 2. splits the requested ensemble into fixed-size chunks
-//!    ([`crate::partition()`]), each with its own deterministic RNG seed,
-//! 3. lets a `std::thread::scope` worker pool pull chunks from a shared
-//!    atomic counter; every worker owns **one pooled planar
+//! 1. resolves the eigen-coloring through the decomposition cache (a hit for
+//!    every covariance matrix the process has seen before),
+//! 2. splits the requested ensemble into chunks sized by the load-balancing
+//!    heuristic ([`crate::balanced_chunk_size`]), each with its own
+//!    deterministic RNG seed,
+//! 3. lets the persistent [`Runtime`] worker pool pull chunks from a shared
+//!    atomic counter; every worker owns **one pinned planar
 //!    [`SampleBlock`]** that the generators stream into through
 //!    [`ChannelStream::next_block_into`] — no per-chunk buffer allocation —
 //!    and either stores the snapshots or folds covariance accumulators
 //!    straight from the planar data,
-//! 4. merges the per-thread results.
+//! 4. merges the per-chunk results in chunk order.
 //!
-//! Because chunk seeds depend only on `(master seed, chunk index)`, the
-//! produced ensemble is identical for any thread count.
+//! Because chunk seeds depend only on `(master seed, chunk index)` and the
+//! chunk layout depends only on `(total, chunk_size)`, the produced ensemble
+//! is identical for any thread count.
+//!
+//! The free functions run on [`Runtime::global()`]; the `*_on` variants take
+//! an explicit pool. The [`spawn`] module keeps the historical
+//! spawn-a-scope-per-call execution under the same signatures — it produces
+//! bit-identical results and exists so the `parallel_throughput` bench (and
+//! any caller that wants strict per-call thread isolation) can measure pool
+//! reuse against per-call spawning.
 //!
 //! All per-sample work inside the workers (the coloring matvec, the
 //! covariance fold, the Doppler IDFT) runs on the
-//! [`corrfade_linalg::kernel`] dispatch layer; the engine latches the
-//! backend (and, on the vector backend, warms the CPU-feature detection)
-//! once on the calling thread before any worker spawns, so
-//! `CORRFADE_KERNEL` is honoured deterministically across the pool.
+//! [`corrfade_linalg::kernel`] dispatch layer; pool workers latch the
+//! backend at spawn and the spawn path latches it on the calling thread
+//! before any worker starts, so `CORRFADE_KERNEL` is honoured
+//! deterministically across the pool.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::AtomicUsize;
 use std::sync::Mutex;
 
 use corrfade::{
-    ChannelStream, CorrelatedRayleighGenerator, RealtimeConfig, RealtimeGenerator, SampleBlock,
+    ChannelStream, Coloring, CorrelatedRayleighGenerator, RealtimeConfig, RealtimeGenerator,
+    SampleBlock,
 };
 use corrfade_linalg::{CMatrix, Complex64};
 
 use crate::error::ParallelError;
-use crate::partition::{chunk_seed, partition, Chunk};
+use crate::partition::{balanced_chunk_size, chunk_seed, partition, Chunk};
+use crate::runtime::{for_each_claimed, Runtime, WorkerScratch};
 
 /// Configuration of the parallel engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ParallelConfig {
-    /// Number of worker threads (0 means "number of available cores").
+    /// Maximum number of workers participating in a call (0 means "number
+    /// of available cores"). On the pooled path this caps how many pool
+    /// workers pick up chunks; it never affects the produced values.
     pub threads: usize,
-    /// Number of snapshots generated per chunk (the unit of work stealing).
-    /// Must be positive; the engine entry points report
-    /// [`ParallelError::InvalidChunkSize`] otherwise.
+    /// Upper bound on the snapshots generated per chunk (the unit of work
+    /// stealing). Large workloads are subdivided further for load balance —
+    /// see [`ParallelConfig::effective_chunk_size`]. Must be positive; the
+    /// engine entry points report [`ParallelError::InvalidChunkSize`]
+    /// otherwise.
     pub chunk_size: usize,
     /// Master RNG seed.
     pub seed: u64,
@@ -72,6 +89,24 @@ impl ParallelConfig {
         }
     }
 
+    /// The chunk size actually used to partition `total` samples:
+    /// [`Self::chunk_size`] bounded by the load-balancing heuristic
+    /// ([`balanced_chunk_size`]), which targets [`crate::TARGET_CHUNKS`]
+    /// chunks so the pool self-schedules evenly instead of degenerating to
+    /// one oversized chunk per thread.
+    ///
+    /// Depends only on `(total, chunk_size)` — never on the thread count —
+    /// so the chunk layout (and with it every `(seed, i)`-derived RNG
+    /// stream) is identical for any number of workers.
+    ///
+    /// # Panics
+    /// Panics if [`Self::chunk_size`] is zero; use [`Self::validate`] first
+    /// to get the typed error instead.
+    #[must_use]
+    pub fn effective_chunk_size(&self, total: usize) -> usize {
+        balanced_chunk_size(total, self.chunk_size)
+    }
+
     /// Checks the configuration for values that could never run, and
     /// latches the process-wide numeric-kernel backend so the worker pool
     /// never races the first `CORRFADE_KERNEL` lookup.
@@ -87,9 +122,35 @@ impl ParallelConfig {
     }
 }
 
+/// How a call executes its workers: on a persistent pool or on freshly
+/// spawned scoped threads (the historical behaviour, kept for comparison).
+/// Both run the identical job closures, so the produced values cannot
+/// differ.
+enum Executor<'rt> {
+    Pool(&'rt Runtime),
+    Spawn,
+}
+
+impl Executor<'_> {
+    /// Runs `job` with worker ids `0..participants` available; the job
+    /// distributes its work via a shared atomic counter, ids beyond
+    /// `participants` return immediately.
+    fn run(&self, participants: usize, job: &(dyn Fn(usize, &mut WorkerScratch) + Sync)) {
+        match self {
+            Executor::Pool(runtime) => runtime.run(job),
+            Executor::Spawn => std::thread::scope(|scope| {
+                for id in 0..participants {
+                    let mut scratch = WorkerScratch::default();
+                    scope.spawn(move || job(id, &mut scratch));
+                }
+            }),
+        }
+    }
+}
+
 /// Generates `total` independent snapshots of the correlated complex
-/// Gaussian vector in parallel. The result is ordered and identical for any
-/// thread count.
+/// Gaussian vector on the global worker pool. The result is ordered and
+/// identical for any thread count.
 ///
 /// # Errors
 /// [`ParallelError::InvalidChunkSize`] for a zero chunk size; covariance
@@ -99,31 +160,51 @@ pub fn generate_snapshots(
     total: usize,
     config: &ParallelConfig,
 ) -> Result<Vec<Vec<Complex64>>, ParallelError> {
+    generate_snapshots_on(Runtime::global(), covariance, total, config)
+}
+
+/// [`generate_snapshots`] on an explicit [`Runtime`].
+///
+/// # Errors
+/// See [`generate_snapshots`].
+pub fn generate_snapshots_on(
+    runtime: &Runtime,
+    covariance: &CMatrix,
+    total: usize,
+    config: &ParallelConfig,
+) -> Result<Vec<Vec<Complex64>>, ParallelError> {
+    generate_snapshots_with(&Executor::Pool(runtime), covariance, total, config)
+}
+
+fn generate_snapshots_with(
+    executor: &Executor<'_>,
+    covariance: &CMatrix,
+    total: usize,
+    config: &ParallelConfig,
+) -> Result<Vec<Vec<Complex64>>, ParallelError> {
     config.validate()?;
-    let coloring = corrfade::eigen_coloring(covariance)?;
-    let chunks = partition(total, config.chunk_size);
+    let coloring = corrfade::cached_eigen_coloring(covariance)?;
+    let chunks = partition(total, config.effective_chunk_size(total));
     let slots: Vec<Mutex<Vec<Vec<Complex64>>>> =
         chunks.iter().map(|_| Mutex::new(Vec::new())).collect();
     let next = AtomicUsize::new(0);
-    let threads = config.effective_threads().min(chunks.len()).max(1);
+    let participants = config.effective_threads().min(chunks.len()).max(1);
 
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| {
-                // One planar block per worker, reused across every chunk the
-                // worker pulls.
-                let mut block = SampleBlock::empty();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= chunks.len() {
-                        break;
-                    }
-                    let chunk = chunks[i];
-                    stream_chunk(&coloring, covariance, chunk, config.seed, &mut block);
-                    *slots[chunk.index].lock().unwrap() = block.to_snapshots();
-                }
-            });
+    executor.run(participants, &|id, scratch| {
+        if id >= participants {
+            return;
         }
+        for_each_claimed(&next, chunks.len(), |i| {
+            let chunk = chunks[i];
+            stream_chunk(
+                &coloring,
+                covariance,
+                chunk,
+                config.seed,
+                &mut scratch.block,
+            );
+            *slots[chunk.index].lock().unwrap() = scratch.block.to_snapshots();
+        });
     });
 
     let mut out = Vec::with_capacity(total);
@@ -136,7 +217,7 @@ pub fn generate_snapshots(
 /// Streams one chunk of snapshots into the worker's pooled block: sample `l`
 /// of the block is snapshot `chunk.start + l` of the overall ensemble.
 fn stream_chunk(
-    coloring: &corrfade::Coloring,
+    coloring: &Coloring,
     desired: &CMatrix,
     chunk: Chunk,
     master_seed: u64,
@@ -155,14 +236,44 @@ fn stream_chunk(
 }
 
 /// Estimates the sample covariance `E[Z·Zᴴ]` over `total` snapshots without
-/// materializing them: each worker streams its chunks into its pooled
-/// planar block and folds `Σ Z·Zᴴ` straight from the planar data into a
-/// thread-local accumulator; the accumulators are merged at the end.
+/// materializing them, on the global worker pool: each worker streams its
+/// chunks into its pinned planar block and folds `Σ Z·Zᴴ` straight from the
+/// planar data into that chunk's accumulator slot; the slots are merged in
+/// chunk order at the end, so the estimate is **bit-identical for any
+/// thread count** (not merely statistically equivalent).
 ///
 /// # Errors
 /// [`ParallelError::InvalidChunkSize`] for a zero chunk size; covariance
 /// validation errors from the core crate otherwise.
+///
+/// # Panics
+/// Panics when `total` is zero (an estimate over nothing).
 pub fn monte_carlo_covariance(
+    covariance: &CMatrix,
+    total: usize,
+    config: &ParallelConfig,
+) -> Result<CMatrix, ParallelError> {
+    monte_carlo_covariance_on(Runtime::global(), covariance, total, config)
+}
+
+/// [`monte_carlo_covariance`] on an explicit [`Runtime`].
+///
+/// # Errors
+/// See [`monte_carlo_covariance`].
+///
+/// # Panics
+/// Panics when `total` is zero.
+pub fn monte_carlo_covariance_on(
+    runtime: &Runtime,
+    covariance: &CMatrix,
+    total: usize,
+    config: &ParallelConfig,
+) -> Result<CMatrix, ParallelError> {
+    monte_carlo_covariance_with(&Executor::Pool(runtime), covariance, total, config)
+}
+
+fn monte_carlo_covariance_with(
+    executor: &Executor<'_>,
     covariance: &CMatrix,
     total: usize,
     config: &ParallelConfig,
@@ -172,47 +283,53 @@ pub fn monte_carlo_covariance(
         "monte_carlo_covariance: need at least one snapshot"
     );
     config.validate()?;
-    let coloring = corrfade::eigen_coloring(covariance)?;
+    let coloring = corrfade::cached_eigen_coloring(covariance)?;
     let n = coloring.dimension();
-    let chunks = partition(total, config.chunk_size);
+    let chunks = partition(total, config.effective_chunk_size(total));
     let next = AtomicUsize::new(0);
-    let threads = config.effective_threads().min(chunks.len()).max(1);
-    let accumulator = Mutex::new(CMatrix::zeros(n, n));
+    let participants = config.effective_threads().min(chunks.len()).max(1);
+    // One accumulator per chunk, merged in chunk order below: the summation
+    // order is fixed by the chunk layout, never by scheduling.
+    let slots: Vec<Mutex<CMatrix>> = chunks
+        .iter()
+        .map(|_| Mutex::new(CMatrix::zeros(n, n)))
+        .collect();
 
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| {
-                let mut local = CMatrix::zeros(n, n);
-                let mut block = SampleBlock::empty();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= chunks.len() {
-                        break;
-                    }
-                    let chunk = chunks[i];
-                    stream_chunk(&coloring, covariance, chunk, config.seed, &mut block);
-                    block.accumulate_covariance(&mut local);
-                }
-                let mut shared = accumulator.lock().unwrap();
-                let merged = &*shared + &local;
-                *shared = merged;
-            });
+    executor.run(participants, &|id, scratch| {
+        if id >= participants {
+            return;
         }
+        for_each_claimed(&next, chunks.len(), |i| {
+            let chunk = chunks[i];
+            stream_chunk(
+                &coloring,
+                covariance,
+                chunk,
+                config.seed,
+                &mut scratch.block,
+            );
+            scratch
+                .block
+                .accumulate_covariance(&mut slots[chunk.index].lock().unwrap());
+        });
     });
 
-    Ok(accumulator
-        .into_inner()
-        .unwrap()
-        .scale_real(1.0 / total as f64))
+    let mut sum = CMatrix::zeros(n, n);
+    for slot in slots {
+        let partial = slot.into_inner().unwrap();
+        sum = &sum + &partial;
+    }
+    Ok(sum.scale_real(1.0 / total as f64))
 }
 
-/// Generates `blocks` real-time Doppler blocks in parallel (one block is one
-/// full `M`-sample realization of all `N` envelopes) and concatenates them
-/// per envelope. Block `i` always uses the RNG stream derived from
-/// `(seed, i)`, so the result is thread-count invariant.
+/// Generates `blocks` real-time Doppler blocks on the global worker pool
+/// (one block is one full `M`-sample realization of all `N` envelopes) and
+/// concatenates them per envelope. Block `i` always uses the RNG stream
+/// derived from `(seed, i)`, so the result is thread-count invariant.
 ///
-/// The eigendecomposition and Doppler filter are designed once on the
-/// calling thread; each worker streams into its own pooled [`SampleBlock`]
+/// The eigendecomposition is resolved through the process-wide
+/// decomposition cache and the Doppler filter is designed once on the
+/// calling thread; each worker streams into its own pinned [`SampleBlock`]
 /// through cheaply [reseeded](RealtimeGenerator::reseeded) copies.
 /// [`ParallelConfig::chunk_size`] is not consulted — the unit of work here
 /// is one full Doppler block.
@@ -224,37 +341,57 @@ pub fn generate_realtime_paths(
     blocks: usize,
     config: &ParallelConfig,
 ) -> Result<Vec<Vec<Complex64>>, ParallelError> {
-    // Validate the configuration (and pay for the decomposition + filter
-    // design) once up front so workers cannot fail; latch the kernel
-    // backend before the pool spawns.
+    generate_realtime_paths_on(Runtime::global(), base, blocks, config)
+}
+
+/// [`generate_realtime_paths`] on an explicit [`Runtime`].
+///
+/// # Errors
+/// See [`generate_realtime_paths`].
+pub fn generate_realtime_paths_on(
+    runtime: &Runtime,
+    base: &RealtimeConfig,
+    blocks: usize,
+    config: &ParallelConfig,
+) -> Result<Vec<Vec<Complex64>>, ParallelError> {
+    generate_realtime_paths_with(&Executor::Pool(runtime), base, blocks, config)
+}
+
+fn generate_realtime_paths_with(
+    executor: &Executor<'_>,
+    base: &RealtimeConfig,
+    blocks: usize,
+    config: &ParallelConfig,
+) -> Result<Vec<Vec<Complex64>>, ParallelError> {
+    // Validate the configuration (and pay for the filter design) once up
+    // front so workers cannot fail; the decomposition comes from the
+    // process-wide cache. Latch the kernel backend before any worker runs.
     let _ = corrfade_linalg::kernel::backend();
-    let prototype = RealtimeGenerator::new(RealtimeConfig {
-        covariance: base.covariance.clone(),
-        ..*base
-    })?;
+    let coloring = corrfade::cached_eigen_coloring(&base.covariance)?;
+    let prototype = RealtimeGenerator::from_coloring(
+        Coloring::clone(&coloring),
+        RealtimeConfig {
+            covariance: base.covariance.clone(),
+            ..*base
+        },
+    )?;
     let n = prototype.dimension();
 
     let slots: Vec<Mutex<Vec<Vec<Complex64>>>> =
         (0..blocks).map(|_| Mutex::new(Vec::new())).collect();
     let next = AtomicUsize::new(0);
-    let threads = config.effective_threads().min(blocks.max(1));
+    let participants = config.effective_threads().min(blocks.max(1));
 
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| {
-                let mut block = SampleBlock::empty();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= blocks {
-                        break;
-                    }
-                    let mut gen = prototype.reseeded(chunk_seed(base.seed, i));
-                    gen.next_block_into(&mut block)
-                        .expect("configuration validated above");
-                    *slots[i].lock().unwrap() = block.to_paths();
-                }
-            });
+    executor.run(participants, &|id, scratch| {
+        if id >= participants {
+            return;
         }
+        for_each_claimed(&next, blocks, |i| {
+            let mut gen = prototype.reseeded(chunk_seed(base.seed, i));
+            gen.next_block_into(&mut scratch.block)
+                .expect("configuration validated above");
+            *slots[i].lock().unwrap() = scratch.block.to_paths();
+        });
     });
 
     let mut paths: Vec<Vec<Complex64>> = vec![Vec::new(); n];
@@ -265,6 +402,58 @@ pub fn generate_realtime_paths(
         }
     }
     Ok(paths)
+}
+
+/// The historical per-call execution mode: spawn a `std::thread::scope`
+/// pool, run the identical chunk jobs, join, tear down.
+///
+/// Results are **bit-identical** to the pooled entry points — only the
+/// execution strategy differs. This module exists for two callers: the
+/// `parallel_throughput` bench, which measures how much the persistent pool
+/// saves over per-call spawning, and code that wants strict thread
+/// isolation per call (no long-lived pool threads).
+pub mod spawn {
+    use super::*;
+
+    /// [`super::generate_snapshots`] on freshly spawned scoped threads.
+    ///
+    /// # Errors
+    /// See [`super::generate_snapshots`].
+    pub fn generate_snapshots(
+        covariance: &CMatrix,
+        total: usize,
+        config: &ParallelConfig,
+    ) -> Result<Vec<Vec<Complex64>>, ParallelError> {
+        generate_snapshots_with(&Executor::Spawn, covariance, total, config)
+    }
+
+    /// [`super::monte_carlo_covariance`] on freshly spawned scoped threads.
+    ///
+    /// # Errors
+    /// See [`super::monte_carlo_covariance`].
+    ///
+    /// # Panics
+    /// Panics when `total` is zero.
+    pub fn monte_carlo_covariance(
+        covariance: &CMatrix,
+        total: usize,
+        config: &ParallelConfig,
+    ) -> Result<CMatrix, ParallelError> {
+        monte_carlo_covariance_with(&Executor::Spawn, covariance, total, config)
+    }
+
+    /// [`super::generate_realtime_paths`] on freshly spawned scoped
+    /// threads.
+    ///
+    /// # Errors
+    /// See [`super::generate_realtime_paths`].
+    pub fn generate_realtime_paths(
+        base: &RealtimeConfig,
+        blocks: usize,
+        config: &ParallelConfig,
+    ) -> Result<Vec<Vec<Complex64>>, ParallelError> {
+        generate_realtime_paths_with(&Executor::Spawn, base, blocks, config)
+    }
 }
 
 #[cfg(test)]
@@ -285,6 +474,18 @@ mod tests {
     fn effective_threads_resolution() {
         assert_eq!(config(3, 0).effective_threads(), 3);
         assert!(ParallelConfig::default().effective_threads() >= 1);
+    }
+
+    #[test]
+    fn effective_chunk_size_follows_the_balance_heuristic() {
+        let cfg = ParallelConfig {
+            chunk_size: 8192,
+            ..ParallelConfig::default()
+        };
+        assert_eq!(
+            cfg.effective_chunk_size(100_000),
+            crate::partition::balanced_chunk_size(100_000, 8192)
+        );
     }
 
     #[test]
@@ -334,18 +535,67 @@ mod tests {
     }
 
     #[test]
+    fn pooled_and_spawned_execution_agree_bit_for_bit() {
+        let k = paper_covariance_matrix_23();
+        let cfg = config(3, 21);
+        assert_eq!(
+            generate_snapshots(&k, 1500, &cfg).unwrap(),
+            spawn::generate_snapshots(&k, 1500, &cfg).unwrap(),
+        );
+        let pooled = monte_carlo_covariance(&k, 1500, &cfg).unwrap();
+        let spawned = spawn::monte_carlo_covariance(&k, 1500, &cfg).unwrap();
+        assert_eq!(
+            pooled.as_slice(),
+            spawned.as_slice(),
+            "per-chunk covariance slots must make the estimate bit-identical"
+        );
+        let base = RealtimeConfig {
+            covariance: k,
+            idft_size: 128,
+            normalized_doppler: 0.05,
+            sigma_orig_sq: 0.5,
+            seed: 2,
+        };
+        assert_eq!(
+            generate_realtime_paths(&base, 5, &cfg).unwrap(),
+            spawn::generate_realtime_paths(&base, 5, &cfg).unwrap(),
+        );
+    }
+
+    #[test]
+    fn explicit_runtime_matches_the_global_pool() {
+        let k = paper_covariance_matrix_22();
+        let cfg = config(2, 5);
+        let rt = Runtime::new(2);
+        assert_eq!(
+            generate_snapshots_on(&rt, &k, 900, &cfg).unwrap(),
+            generate_snapshots(&k, 900, &cfg).unwrap(),
+        );
+    }
+
+    #[test]
+    fn covariance_estimate_is_bitwise_thread_count_invariant() {
+        let k = paper_covariance_matrix_23();
+        let a = monte_carlo_covariance(&k, 6000, &config(1, 3)).unwrap();
+        let b = monte_carlo_covariance(&k, 6000, &config(4, 3)).unwrap();
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
     fn snapshots_match_the_sequential_generator_bit_for_bit() {
         // Chunk 0 of the parallel ensemble must equal a sequential generator
-        // seeded with the same chunk seed — the streaming migration must not
-        // change the produced values.
+        // seeded with the same chunk seed — pool scheduling must not change
+        // the produced values.
         let k = paper_covariance_matrix_22();
         let cfg = config(2, 13);
-        let snaps = generate_snapshots(&k, 700, &cfg).unwrap();
+        let total = 700;
+        let chunk0 = cfg.effective_chunk_size(total);
+        let snaps = generate_snapshots(&k, total, &cfg).unwrap();
         let mut gen =
             corrfade::CorrelatedRayleighGenerator::new(k, crate::partition::chunk_seed(13, 0))
                 .unwrap();
-        let sequential = gen.generate_snapshots(512);
-        assert_eq!(&snaps[..512], &sequential[..]);
+        let sequential = gen.generate_snapshots(chunk0);
+        assert_eq!(&snaps[..chunk0], &sequential[..]);
     }
 
     #[test]

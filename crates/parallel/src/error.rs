@@ -3,6 +3,7 @@
 use core::fmt;
 
 use corrfade::CorrfadeError;
+use corrfade_scenarios::ScenarioError;
 
 /// Errors produced while configuring or running the parallel engine.
 #[derive(Debug, Clone, PartialEq)]
@@ -14,6 +15,9 @@ pub enum ParallelError {
     /// An error bubbled up from the core generator stack (covariance
     /// validation, Doppler filter design, …).
     Core(CorrfadeError),
+    /// A [`crate::StreamFleet`] member failed to resolve or build from the
+    /// scenario registry (unknown name, invalid resize, …).
+    Scenario(ScenarioError),
 }
 
 impl fmt::Display for ParallelError {
@@ -23,6 +27,7 @@ impl fmt::Display for ParallelError {
                 write!(f, "chunk_size must be positive (got 0)")
             }
             ParallelError::Core(e) => write!(f, "generator error: {e}"),
+            ParallelError::Scenario(e) => write!(f, "fleet scenario error: {e}"),
         }
     }
 }
@@ -31,6 +36,7 @@ impl std::error::Error for ParallelError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ParallelError::Core(e) => Some(e),
+            ParallelError::Scenario(e) => Some(e),
             ParallelError::InvalidChunkSize => None,
         }
     }
@@ -39,6 +45,12 @@ impl std::error::Error for ParallelError {
 impl From<CorrfadeError> for ParallelError {
     fn from(e: CorrfadeError) -> Self {
         ParallelError::Core(e)
+    }
+}
+
+impl From<ScenarioError> for ParallelError {
+    fn from(e: ScenarioError) -> Self {
+        ParallelError::Scenario(e)
     }
 }
 
@@ -54,6 +66,13 @@ mod tests {
         assert!(e.source().is_none());
         let e: ParallelError = CorrfadeError::EmptyCovariance.into();
         assert!(e.to_string().contains("generator error"));
+        assert!(e.source().is_some());
+        let e: ParallelError = ScenarioError::UnknownScenario {
+            name: "nope".into(),
+            suggestion: None,
+        }
+        .into();
+        assert!(e.to_string().contains("fleet scenario error"));
         assert!(e.source().is_some());
     }
 }

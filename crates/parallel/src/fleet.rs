@@ -1,0 +1,280 @@
+//! The multi-stream batch engine: many named scenarios, one worker pool.
+//!
+//! A production channel emulator does not serve one stream — it serves
+//! *fleets* of them: K clients, each subscribed to a named scenario from
+//! `corrfade-scenarios`, each expecting its next block of correlated
+//! Doppler-shaped samples. [`StreamFleet`] is that serving surface:
+//!
+//! * **Open by name** — [`StreamFleet::open`] resolves each name through
+//!   the scenario registry and builds its real-time generator through the
+//!   process-wide decomposition cache
+//!   ([`corrfade::cached_eigen_coloring`]), so K streams over the same
+//!   covariance matrix pay for one eigendecomposition; the FFT plan cache
+//!   in `corrfade-dsp` is shared the same way. Per-stream setup is paid
+//!   once, at open.
+//! * **Generate in batch** — [`StreamFleet::advance`] produces the next
+//!   block for *every* stream concurrently on the persistent
+//!   [`Runtime`] pool: workers pull stream indices from a shared counter
+//!   and write each stream's block into that stream's own pooled
+//!   [`SampleBlock`]. After warm-up an advance performs **zero heap
+//!   allocation** (the workspace's allocation-regression test measures
+//!   this end to end through the pool).
+//! * **Isolation by construction** — stream `i` owns an independent RNG
+//!   stream seeded with [`stream_seed`]`(master_seed, i)`. Which worker
+//!   generates which block, and how many workers exist, cannot influence
+//!   the output: every stream's blocks are **bit-identical** to running
+//!   that scenario alone with the same per-stream seed
+//!   ([`Scenario::build_realtime`] + repeated `next_block_into`), on any
+//!   thread count and both kernel backends.
+
+use std::sync::atomic::AtomicUsize;
+use std::sync::Mutex;
+
+use corrfade::{ChannelStream, RealtimeGenerator, SampleBlock};
+use corrfade_scenarios::{lookup, Scenario};
+
+use crate::error::ParallelError;
+use crate::partition::chunk_seed;
+use crate::runtime::{for_each_claimed, Runtime};
+
+/// Derives the RNG seed of fleet stream `index` from the fleet's master
+/// seed (the same SplitMix64 derivation as [`chunk_seed`]). Running
+/// `scenario.build_realtime(stream_seed(master_seed, index))` standalone
+/// reproduces fleet stream `index` bit for bit.
+#[must_use]
+pub fn stream_seed(master_seed: u64, index: usize) -> u64 {
+    chunk_seed(master_seed, index)
+}
+
+/// One fleet member: its generator and the pooled block the engine writes
+/// into. Behind a `Mutex` so pool workers can fill disjoint streams
+/// concurrently; the locks are uncontended by construction (each index is
+/// claimed by exactly one worker per advance).
+struct FleetSlot {
+    stream: RealtimeGenerator,
+    block: SampleBlock,
+}
+
+/// A batch of named real-time channel streams generated together on the
+/// persistent worker pool. See the [module docs](self).
+///
+/// # Examples
+///
+/// ```
+/// use corrfade_parallel::StreamFleet;
+///
+/// let mut fleet = StreamFleet::open(&["fig4a-spectral", "fig4b-spatial"], 7).unwrap();
+/// fleet.advance().unwrap(); // next block for every stream, in parallel
+/// assert_eq!(fleet.block(0).envelopes(), 3);
+/// assert_eq!(fleet.block(1).samples(), 4096);
+/// ```
+pub struct StreamFleet {
+    scenarios: Vec<&'static Scenario>,
+    slots: Vec<Mutex<FleetSlot>>,
+    master_seed: u64,
+}
+
+impl std::fmt::Debug for StreamFleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamFleet")
+            .field("streams", &self.scenarios.len())
+            .field("master_seed", &self.master_seed)
+            .finish_non_exhaustive()
+    }
+}
+
+impl StreamFleet {
+    /// Opens one real-time stream per registry name (duplicates allowed —
+    /// they become independent streams of the same scenario). Stream `i`
+    /// is seeded with [`stream_seed`]`(master_seed, i)`; decompositions are
+    /// shared through the process-wide cache.
+    ///
+    /// # Errors
+    /// [`ParallelError::Scenario`] when a name is unknown or a scenario
+    /// fails to build.
+    pub fn open(names: &[&str], master_seed: u64) -> Result<Self, ParallelError> {
+        let scenarios = names
+            .iter()
+            .map(|name| lookup(name))
+            .collect::<Result<Vec<_>, _>>()?;
+        Self::open_scenarios(&scenarios, master_seed)
+    }
+
+    /// Opens one real-time stream per scenario reference (the registry-free
+    /// variant of [`StreamFleet::open`], for callers that already resolved
+    /// or filtered their scenarios).
+    ///
+    /// # Errors
+    /// [`ParallelError::Scenario`] when a scenario fails to build.
+    pub fn open_scenarios(
+        scenarios: &[&'static Scenario],
+        master_seed: u64,
+    ) -> Result<Self, ParallelError> {
+        let slots = scenarios
+            .iter()
+            .enumerate()
+            .map(|(i, scenario)| {
+                let stream = scenario.build_realtime_cached(stream_seed(master_seed, i))?;
+                Ok(Mutex::new(FleetSlot {
+                    stream,
+                    block: SampleBlock::empty(),
+                }))
+            })
+            .collect::<Result<Vec<_>, ParallelError>>()?;
+        Ok(Self {
+            scenarios: scenarios.to_vec(),
+            slots,
+            master_seed,
+        })
+    }
+
+    /// Number of streams in the fleet.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` when the fleet holds no streams.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The master seed the per-stream seeds derive from.
+    #[must_use]
+    pub fn master_seed(&self) -> u64 {
+        self.master_seed
+    }
+
+    /// The scenario backing stream `i`.
+    ///
+    /// # Panics
+    /// Panics when `i` is out of range.
+    #[must_use]
+    pub fn scenario(&self, i: usize) -> &'static Scenario {
+        self.scenarios[i]
+    }
+
+    /// Total samples (envelopes × block length, summed over all streams)
+    /// produced by one advance — the throughput denominator of the
+    /// `fleet_throughput` bench.
+    #[must_use]
+    pub fn samples_per_advance(&self) -> usize {
+        self.scenarios
+            .iter()
+            .map(|s| s.envelopes * s.doppler.idft_size)
+            .sum()
+    }
+
+    /// Generates the next block for every stream concurrently on the
+    /// global [`Runtime`] pool.
+    ///
+    /// # Errors
+    /// Infallible today (real-time generation cannot fail after
+    /// construction); the `Result` reserves room for fallible streams.
+    pub fn advance(&mut self) -> Result<(), ParallelError> {
+        self.advance_on(Runtime::global())
+    }
+
+    /// [`StreamFleet::advance`] on an explicit pool. The pool size affects
+    /// wall-clock only, never the produced blocks.
+    ///
+    /// # Errors
+    /// See [`StreamFleet::advance`].
+    pub fn advance_on(&mut self, runtime: &Runtime) -> Result<(), ParallelError> {
+        let next = AtomicUsize::new(0);
+        let slots = &self.slots;
+        runtime.run(&|_id, _scratch| {
+            for_each_claimed(&next, slots.len(), |i| {
+                let mut slot = slots[i].lock().unwrap();
+                let FleetSlot { stream, block } = &mut *slot;
+                stream
+                    .next_block_into(block)
+                    .expect("realtime generation is infallible after construction");
+            });
+        });
+        Ok(())
+    }
+
+    /// Generates the next block for every stream on the calling thread, in
+    /// stream order — bit-identical to [`StreamFleet::advance`]; the
+    /// single-threaded reference the equivalence tests and the
+    /// `fleet_throughput` bench compare the pool against.
+    ///
+    /// # Errors
+    /// See [`StreamFleet::advance`].
+    pub fn advance_sequential(&mut self) -> Result<(), ParallelError> {
+        for slot in &mut self.slots {
+            let FleetSlot { stream, block } = slot.get_mut().unwrap();
+            stream
+                .next_block_into(block)
+                .expect("realtime generation is infallible after construction");
+        }
+        Ok(())
+    }
+
+    /// The most recently generated block of stream `i` (empty before the
+    /// first advance). Reading requires `&mut self` because the blocks sit
+    /// behind the per-stream locks the pool writes through.
+    ///
+    /// # Panics
+    /// Panics when `i` is out of range.
+    #[must_use]
+    pub fn block(&mut self, i: usize) -> &SampleBlock {
+        &self.slots[i].get_mut().unwrap().block
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_resolves_names_and_reports_unknown_ones() {
+        let fleet = StreamFleet::open(&["fig4a-spectral", "fig4b-spatial"], 1).unwrap();
+        assert_eq!(fleet.len(), 2);
+        assert!(!fleet.is_empty());
+        assert_eq!(fleet.scenario(0).name, "fig4a-spectral");
+        assert_eq!(fleet.master_seed(), 1);
+        assert_eq!(fleet.samples_per_advance(), 2 * 3 * 4096);
+
+        assert!(matches!(
+            StreamFleet::open(&["no-such-scenario"], 1),
+            Err(ParallelError::Scenario(_))
+        ));
+    }
+
+    #[test]
+    fn advance_fills_every_stream() {
+        let mut fleet = StreamFleet::open(&["fig4a-spectral", "two-envelope-complex"], 3).unwrap();
+        assert!(
+            fleet.block(0).is_empty(),
+            "no block before the first advance"
+        );
+        fleet.advance().unwrap();
+        for i in 0..fleet.len() {
+            let scenario = fleet.scenario(i);
+            let (envelopes, samples) = (scenario.envelopes, scenario.doppler.idft_size);
+            let block = fleet.block(i);
+            assert_eq!(block.envelopes(), envelopes, "stream {i}");
+            assert_eq!(block.samples(), samples, "stream {i}");
+        }
+    }
+
+    #[test]
+    fn empty_fleet_advances_trivially() {
+        let mut fleet = StreamFleet::open(&[], 1).unwrap();
+        assert!(fleet.is_empty());
+        fleet.advance().unwrap();
+        fleet.advance_sequential().unwrap();
+    }
+
+    #[test]
+    fn duplicate_names_are_independent_streams() {
+        let mut fleet = StreamFleet::open(&["fig4b-spatial", "fig4b-spatial"], 9).unwrap();
+        fleet.advance().unwrap();
+        let a = fleet.block(0).as_slice().to_vec();
+        let b = fleet.block(1).as_slice().to_vec();
+        assert_ne!(a, b, "same scenario, different per-stream seeds");
+    }
+}

@@ -1,22 +1,36 @@
 //! # corrfade-parallel
 //!
-//! Multi-threaded Monte-Carlo engine for the `corrfade` generators, built on
-//! `std::thread::scope` worker pools:
+//! Multi-threaded Monte-Carlo engine and multi-stream batch runtime for the
+//! `corrfade` generators, built on a persistent worker pool:
 //!
+//! * [`runtime::Runtime`] — a pool of long-lived workers created once and
+//!   reused across calls (per-worker pinned [`corrfade::SampleBlock`]
+//!   scratch, per-worker kernel-backend latch, graceful shutdown on drop);
+//!   [`Runtime::global()`] is the process-wide instance behind the free
+//!   functions,
 //! * [`engine::generate_snapshots`] — ordered, thread-count-invariant
 //!   ensembles of independent snapshots,
 //! * [`engine::monte_carlo_covariance`] — streaming estimation of
-//!   `E[Z·Zᴴ]` without materializing the ensemble,
+//!   `E[Z·Zᴴ]` without materializing the ensemble (bit-identical for any
+//!   thread count thanks to per-chunk accumulator slots),
 //! * [`engine::generate_realtime_paths`] — parallel generation of Doppler
-//!   blocks (paper Sec. 5 mode), one block per RNG sub-stream.
+//!   blocks (paper Sec. 5 mode), one block per RNG sub-stream,
+//! * [`fleet::StreamFleet`] — the multi-stream batch engine: open many
+//!   named scenarios from `corrfade-scenarios` at once and generate blocks
+//!   for all of them concurrently on the pool, sharing the process-wide
+//!   decomposition cache ([`corrfade::cached_eigen_coloring`]) and FFT plan
+//!   cache so per-stream setup is paid once per covariance matrix.
 //!
-//! The expensive eigendecomposition is performed once on the calling thread;
-//! workers only execute the `Z = L·W/σ_g` hot path, each streaming through
-//! the `corrfade::ChannelStream` interface into one pooled planar
-//! `corrfade::SampleBlock` — zero steady-state allocation per block. Chunk
-//! seeds are derived from `(master seed, chunk index)` so results do not
-//! depend on the number of worker threads — the statistical regression tests
-//! in the workspace rely on that property.
+//! The expensive eigendecomposition is resolved once per covariance matrix
+//! through the decomposition cache; workers only execute the `Z = L·W/σ_g`
+//! hot path, each streaming through the `corrfade::ChannelStream` interface
+//! into pinned planar `corrfade::SampleBlock`s — zero steady-state
+//! allocation per block. Chunk seeds are derived from `(master seed, chunk
+//! index)` and the chunk layout from `(total, chunk_size)` only, so results
+//! do not depend on the number of worker threads — the statistical
+//! regression tests in the workspace rely on that property. The
+//! [`engine::spawn`] module keeps the historical spawn-per-call execution
+//! (bit-identical results) for comparison benchmarks.
 //!
 //! Configuration mistakes that could never run (a zero
 //! [`ParallelConfig::chunk_size`]) are reported as the typed
@@ -26,10 +40,17 @@
 
 pub mod engine;
 pub mod error;
+pub mod fleet;
 pub mod partition;
+pub mod runtime;
 
 pub use engine::{
-    generate_realtime_paths, generate_snapshots, monte_carlo_covariance, ParallelConfig,
+    generate_realtime_paths, generate_realtime_paths_on, generate_snapshots, generate_snapshots_on,
+    monte_carlo_covariance, monte_carlo_covariance_on, spawn, ParallelConfig,
 };
 pub use error::ParallelError;
-pub use partition::{chunk_seed, partition, Chunk};
+pub use fleet::{stream_seed, StreamFleet};
+pub use partition::{
+    balanced_chunk_size, chunk_seed, partition, Chunk, MIN_CHUNK_SAMPLES, TARGET_CHUNKS,
+};
+pub use runtime::{Runtime, WorkerScratch};

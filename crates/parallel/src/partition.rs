@@ -34,6 +34,44 @@ pub fn partition(total: usize, chunk_size: usize) -> Vec<Chunk> {
     chunks
 }
 
+/// Number of chunks [`balanced_chunk_size`] aims for when the workload is
+/// large enough: roughly 4 chunks per worker on a 16-core machine, which
+/// keeps the self-scheduling pool load-balanced (a slow chunk is absorbed
+/// by peers pulling the remaining ones) instead of the degenerate
+/// one-chunk-per-thread split a large configured chunk size produces.
+///
+/// Deliberately a **constant**, not a function of the worker count or the
+/// machine: the chunk layout determines which RNG stream generates which
+/// sample, so deriving it from the thread count would silently break the
+/// thread-count-invariance guarantee, and deriving it from
+/// `available_parallelism` would make ensembles machine-dependent.
+pub const TARGET_CHUNKS: usize = 64;
+
+/// Minimum samples per chunk: below this the per-chunk setup (cloning the
+/// coloring, seeding a generator) outweighs the generation work, so small
+/// totals are not shredded into confetti just to reach [`TARGET_CHUNKS`].
+pub const MIN_CHUNK_SAMPLES: usize = 64;
+
+/// The load-balancing chunk-size heuristic: treats `max_chunk_size` (the
+/// configured [`crate::ParallelConfig::chunk_size`]) as an upper bound and
+/// subdivides large workloads into at least [`TARGET_CHUNKS`] chunks of at
+/// least [`MIN_CHUNK_SAMPLES`] samples.
+///
+/// Deterministic in `(total, max_chunk_size)` only — never in the thread
+/// count — so the `(seed, chunk index)` derivation keeps ensembles
+/// identical for any number of workers.
+///
+/// # Panics
+/// Panics if `max_chunk_size` is zero.
+#[must_use]
+pub fn balanced_chunk_size(total: usize, max_chunk_size: usize) -> usize {
+    assert!(max_chunk_size > 0, "chunk_size must be positive");
+    total
+        .div_ceil(TARGET_CHUNKS)
+        .max(MIN_CHUNK_SAMPLES)
+        .min(max_chunk_size)
+}
+
 /// Derives a per-chunk RNG seed from the master seed and the chunk index
 /// (SplitMix64 finalizer — well-distributed and cheap).
 pub fn chunk_seed(master_seed: u64, chunk_index: usize) -> u64 {
@@ -74,6 +112,29 @@ mod tests {
     #[should_panic(expected = "chunk_size must be positive")]
     fn zero_chunk_size_rejected() {
         let _ = partition(10, 0);
+    }
+
+    #[test]
+    fn balanced_chunk_size_targets_enough_chunks() {
+        // Large workload, large configured chunk: subdivided to TARGET_CHUNKS.
+        let size = balanced_chunk_size(100_000, 8192);
+        assert_eq!(size, 100_000usize.div_ceil(TARGET_CHUNKS));
+        assert_eq!(partition(100_000, size).len(), TARGET_CHUNKS);
+        // Chunk sizes below the configured maximum are respected when the
+        // total is small enough that TARGET_CHUNKS would shred it.
+        assert_eq!(balanced_chunk_size(700, 512), MIN_CHUNK_SAMPLES);
+        // A configured chunk smaller than the floor wins (upper bound).
+        assert_eq!(balanced_chunk_size(700, 16), 16);
+        // Workloads already yielding many chunks are untouched.
+        assert_eq!(balanced_chunk_size(60_000, 512), 512);
+        // Zero work still partitions to zero chunks.
+        assert!(partition(0, balanced_chunk_size(0, 4096)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_size must be positive")]
+    fn balanced_chunk_size_rejects_zero_max() {
+        let _ = balanced_chunk_size(10, 0);
     }
 
     #[test]

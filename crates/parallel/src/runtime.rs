@@ -1,0 +1,412 @@
+//! The persistent worker-pool runtime.
+//!
+//! Every engine entry point used to spawn (and join) a fresh
+//! `std::thread::scope` pool per call. That is correct but pays thread
+//! creation, stack setup and tear-down on every request — the dominant cost
+//! on small workloads, and pure waste for a service that answers a stream of
+//! them. [`Runtime`] replaces it with a pool created **once** and reused
+//! across calls:
+//!
+//! * workers are long-lived OS threads parked on a condvar between jobs;
+//!   dispatching a job is a mutex write + wake, not `N` thread spawns;
+//! * each worker owns a pinned [`WorkerScratch`] (its pooled planar
+//!   [`SampleBlock`]) that survives across jobs, so steady-state generation
+//!   stays allocation-free end to end — the workspace's
+//!   allocation-regression test measures this through the whole fleet path;
+//! * each worker latches the [`corrfade_linalg::kernel`] backend once at
+//!   spawn, so `CORRFADE_KERNEL` is honoured deterministically no matter
+//!   which thread first touches a kernel;
+//! * dropping the runtime shuts the pool down gracefully: workers observe
+//!   the shutdown flag, exit their loop, and `Drop` joins every handle — no
+//!   leaked threads (a lifecycle test pins this via the pool's own
+//!   reference counts).
+//!
+//! Work distribution stays exactly as before: a job is one closure that
+//! every worker runs, pulling chunk indices from a shared atomic counter
+//! (work-stealing-style self-scheduling). Which worker executes which chunk
+//! is irrelevant to the output because all randomness derives from
+//! `(master seed, chunk index)` — the thread-count-invariance guarantee is
+//! unchanged.
+//!
+//! [`Runtime::global()`] exposes one process-wide pool (sized from
+//! `CORRFADE_POOL_THREADS`, default: all cores) so the existing free
+//! functions keep their signatures and become thin wrappers over it.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+use corrfade_linalg::SampleBlock;
+
+/// Per-worker pinned state, created once per pool worker (or once per
+/// spawned thread on the legacy per-call path) and handed to every job the
+/// worker executes.
+///
+/// RNG state deliberately does **not** live here: generators derive their
+/// streams from `(master seed, chunk index)` inside the job, which is what
+/// makes results independent of worker identity and count.
+#[derive(Debug, Default)]
+pub struct WorkerScratch {
+    /// Pooled planar block, reused across every chunk this worker
+    /// processes — the buffer behind the zero-steady-state-allocation
+    /// guarantee of the ensemble jobs.
+    pub block: SampleBlock,
+}
+
+/// A lifetime-erased pointer to the job closure of the current epoch.
+///
+/// Stored in the pool state only while [`Runtime::run`] blocks; `run` does
+/// not return before every worker has finished the epoch, so the pointee
+/// outlives every dereference.
+#[derive(Clone, Copy)]
+struct Job(*const (dyn Fn(usize, &mut WorkerScratch) + Sync));
+
+// SAFETY: the pointer crosses threads, but it is only dereferenced between
+// the epoch publication and the final `active == 0` handshake inside
+// `Runtime::run`, during which the caller's closure is kept alive.
+unsafe impl Send for Job {}
+
+/// Mutex-guarded pool state. `epoch` identifies the current job; a worker
+/// runs each epoch exactly once and sleeps until the next.
+struct PoolState {
+    epoch: u64,
+    job: Option<Job>,
+    /// Workers that have not yet finished the current epoch.
+    active: usize,
+    /// Workers whose job closure panicked in the current epoch.
+    panicked: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    /// Workers wait here for a new epoch (or shutdown).
+    work: Condvar,
+    /// The submitter waits here for `active` to reach zero.
+    done: Condvar,
+}
+
+thread_local! {
+    /// Pinned scratch of the single-worker inline fast path: a 1-worker
+    /// pool executes jobs directly on the submitting thread (the condvar
+    /// handshake would be pure overhead), and this per-thread scratch keeps
+    /// that path allocation-free in steady state just like a real worker's.
+    static INLINE_SCRATCH: RefCell<WorkerScratch> = RefCell::new(WorkerScratch::default());
+}
+
+/// A persistent pool of worker threads executing chunk-pulling jobs.
+///
+/// See the [module docs](self) for the design; see [`Runtime::global`] for
+/// the process-wide instance behind the free-function API.
+pub struct Runtime {
+    shared: Arc<Shared>,
+    workers: usize,
+    /// Serializes concurrent [`Runtime::run`] callers: one job owns the
+    /// pool at a time, later submitters queue on this lock.
+    submit: Mutex<()>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("workers", &self.workers)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Runtime {
+    /// Spawns a pool of `threads` workers (`0` means "all available
+    /// cores"). Workers latch the kernel backend immediately, then park
+    /// until the first job. A single-worker pool spawns no threads —
+    /// see [`Runtime::run`]'s inline fast path.
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        let workers = if threads > 0 {
+            threads
+        } else {
+            available_cores()
+        };
+        // Latch the kernel backend on the constructing thread first so a
+        // malformed CORRFADE_KERNEL value panics here, not inside a worker.
+        let _ = corrfade_linalg::kernel::backend();
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                epoch: 0,
+                job: None,
+                active: 0,
+                panicked: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        // A single-worker pool spawns no threads at all: `run` always takes
+        // the inline fast path, so a worker would park forever unused.
+        let handles = if workers == 1 {
+            Vec::new()
+        } else {
+            (0..workers)
+                .map(|id| {
+                    let shared = Arc::clone(&shared);
+                    std::thread::Builder::new()
+                        .name(format!("corrfade-worker-{id}"))
+                        .spawn(move || worker_loop(&shared, id))
+                        .expect("spawning a pool worker thread failed")
+                })
+                .collect()
+        };
+        Self {
+            shared,
+            workers,
+            submit: Mutex::new(()),
+            handles,
+        }
+    }
+
+    /// The process-wide pool used by the free-function engine API and the
+    /// stream fleet. Created on first use — race-safe under concurrent
+    /// first callers — with one worker per available core, overridable via
+    /// the `CORRFADE_POOL_THREADS` environment variable (a positive worker
+    /// count; `0`, unset or unparsable values mean "all cores").
+    ///
+    /// The global pool lives for the remainder of the process; its workers
+    /// spend idle time parked on a condvar.
+    pub fn global() -> &'static Runtime {
+        static GLOBAL: OnceLock<Runtime> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let threads = std::env::var("CORRFADE_POOL_THREADS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or(0);
+            Runtime::new(threads)
+        })
+    }
+
+    /// Number of worker threads in the pool.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Executes `job` on every worker of the pool and blocks until all of
+    /// them have finished. `job` receives the worker index (`0..workers()`)
+    /// and the worker's pinned scratch; jobs distribute actual work by
+    /// pulling indices from their own shared atomic counter, so workers the
+    /// job does not need simply return immediately.
+    ///
+    /// Concurrent callers are serialized (one job owns the pool at a
+    /// time). Calling this from inside a pool worker of the *same* runtime
+    /// would deadlock — jobs must not submit nested jobs to their own pool.
+    ///
+    /// With a warm scratch the dispatch itself performs **no heap
+    /// allocation** (mutex + condvar handshake only). As a special case, a
+    /// **single-worker pool executes the job inline** on the calling thread
+    /// with a thread-local pinned scratch — same result, same
+    /// allocation-free steady state, none of the handshake latency.
+    ///
+    /// # Panics
+    /// Panics if any worker's job invocation panicked; the pool itself
+    /// survives and subsequent jobs run normally.
+    pub fn run(&self, job: &(dyn Fn(usize, &mut WorkerScratch) + Sync)) {
+        let serial = self.submit.lock().unwrap();
+        if self.workers == 1 {
+            // Inline fast path: no parallelism to win, so skip the wake.
+            // (A nested `run` on the same thread would panic on the borrow
+            // rather than deadlock on the pool — nesting is forbidden
+            // either way.)
+            INLINE_SCRATCH.with(|scratch| job(0, &mut scratch.borrow_mut()));
+            return;
+        }
+        // SAFETY: erases the closure's borrow lifetime for storage in the
+        // shared state. The wait loop below does not return until every
+        // worker finished the epoch and the pointer is cleared, so no
+        // dereference outlives the borrow.
+        let erased = Job(unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(usize, &mut WorkerScratch) + Sync + '_),
+                *const (dyn Fn(usize, &mut WorkerScratch) + Sync + 'static),
+            >(job)
+        });
+        let panicked = {
+            let mut state = self.shared.state.lock().unwrap();
+            state.epoch = state.epoch.wrapping_add(1);
+            state.job = Some(erased);
+            state.active = self.workers;
+            state.panicked = 0;
+            self.shared.work.notify_all();
+            while state.active > 0 {
+                state = self.shared.done.wait(state).unwrap();
+            }
+            state.job = None;
+            state.panicked
+        };
+        drop(serial);
+        assert!(
+            panicked == 0,
+            "{panicked} pool worker(s) panicked while executing the job \
+             (see stderr for the worker panic message)"
+        );
+    }
+}
+
+impl Drop for Runtime {
+    /// Graceful shutdown: publish the shutdown flag, wake every parked
+    /// worker and join all handles. A worker mid-job finishes its current
+    /// epoch first, so in-flight work is never abandoned half-written.
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().unwrap();
+            state.shutdown = true;
+            self.shared.work.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            // A worker that panicked outside a job (impossible today) must
+            // not turn shutdown into a second panic.
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The shared self-scheduling loop of every pooled job: claims indices
+/// from `next` until the counter passes `count`. Both the engine's
+/// chunk-pull jobs and the fleet's stream-pull jobs distribute their work
+/// through this one idiom.
+pub(crate) fn for_each_claimed(next: &AtomicUsize, count: usize, mut work: impl FnMut(usize)) {
+    loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= count {
+            break;
+        }
+        work(i);
+    }
+}
+
+/// Resolved "all cores" worker count.
+fn available_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn worker_loop(shared: &Shared, id: usize) {
+    // Per-worker kernel-backend latch: deterministic backend selection no
+    // matter which thread races the first kernel call.
+    let _ = corrfade_linalg::kernel::backend();
+    let mut scratch = WorkerScratch::default();
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut state = shared.state.lock().unwrap();
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                if state.epoch != seen_epoch {
+                    seen_epoch = state.epoch;
+                    break state.job.expect("a job is published with every epoch");
+                }
+                state = shared.work.wait(state).unwrap();
+            }
+        };
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // SAFETY: see `Job` — the submitter keeps the closure alive
+            // until every worker has reported completion of this epoch.
+            (unsafe { &*job.0 })(id, &mut scratch);
+        }));
+        let mut state = shared.state.lock().unwrap();
+        if outcome.is_err() {
+            state.panicked += 1;
+        }
+        state.active -= 1;
+        if state.active == 0 {
+            shared.done.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn run_executes_on_every_worker_with_pinned_scratch() {
+        let rt = Runtime::new(3);
+        assert_eq!(rt.workers(), 3);
+        let seen = Mutex::new(vec![0usize; 3]);
+        rt.run(&|id, scratch| {
+            scratch.block.resize(1, 8); // warm the pinned block
+            seen.lock().unwrap()[id] += 1;
+        });
+        rt.run(&|id, scratch| {
+            // The scratch survives across jobs: it is already sized.
+            assert_eq!(scratch.block.samples(), 8);
+            seen.lock().unwrap()[id] += 1;
+        });
+        assert_eq!(*seen.lock().unwrap(), vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn drop_joins_all_workers() {
+        let rt = Runtime::new(4);
+        let workers_alive = Arc::downgrade(&rt.shared);
+        rt.run(&|_, _| {});
+        drop(rt);
+        // Every worker held an Arc<Shared>; after the drop-join no clone
+        // survives, proving all worker threads actually exited.
+        assert_eq!(
+            workers_alive.strong_count(),
+            0,
+            "dropping the runtime must join (not leak) its worker threads"
+        );
+    }
+
+    #[test]
+    fn zero_threads_means_all_cores() {
+        let rt = Runtime::new(0);
+        assert!(rt.workers() >= 1);
+    }
+
+    #[test]
+    fn pool_survives_a_panicking_job() {
+        let rt = Runtime::new(2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            rt.run(&|id, _| {
+                if id == 0 {
+                    panic!("injected job failure");
+                }
+            });
+        }));
+        assert!(result.is_err(), "the panic must propagate to the submitter");
+        // The pool is still operational afterwards.
+        let counter = AtomicUsize::new(0);
+        rt.run(&|_, _| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn concurrent_submitters_are_serialized_not_lost() {
+        let rt = Arc::new(Runtime::new(2));
+        let total = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let rt = Arc::clone(&rt);
+                let total = Arc::clone(&total);
+                scope.spawn(move || {
+                    for _ in 0..25 {
+                        rt.run(&|_, _| {
+                            total.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        // 4 submitters × 25 jobs × 2 workers.
+        assert_eq!(total.load(Ordering::Relaxed), 200);
+    }
+}

@@ -2,7 +2,8 @@
 //! [`corrfade::GeneratorBuilder`].
 
 use corrfade::{
-    ChannelStream, CorrelatedRayleighGenerator, GeneratorBuilder, RealtimeConfig, RealtimeGenerator,
+    ChannelStream, Coloring, CorrelatedRayleighGenerator, GeneratorBuilder, RealtimeConfig,
+    RealtimeGenerator,
 };
 use corrfade_linalg::{c64, CMatrix};
 use corrfade_models::{
@@ -415,6 +416,36 @@ impl Scenario {
         Ok(RealtimeGenerator::new(self.realtime_config(seed)?)?)
     }
 
+    /// Like [`Scenario::build_realtime`], but resolves the eigen-coloring
+    /// through the process-wide decomposition cache
+    /// ([`corrfade::cached_eigen_coloring`]): the first open of a given
+    /// covariance matrix pays for the decomposition, every later open of
+    /// *any* scenario with the same matrix — another stream of a fleet, a
+    /// reconnecting client — shares it. The produced generator is
+    /// bit-identical to the uncached [`Scenario::build_realtime`] path.
+    ///
+    /// # Errors
+    /// See [`Scenario::covariance_matrix`].
+    pub fn build_realtime_cached(&self, seed: u64) -> Result<RealtimeGenerator, ScenarioError> {
+        let config = self.realtime_config(seed)?;
+        let coloring = corrfade::cached_eigen_coloring(&config.covariance)?;
+        Ok(RealtimeGenerator::from_coloring(
+            Coloring::clone(&coloring),
+            config,
+        )?)
+    }
+
+    /// Opens this scenario as a boxed [`ChannelStream`] in real-time mode
+    /// through the decomposition cache — the by-name entry point for
+    /// services that open many concurrent streams; see
+    /// [`Scenario::build_realtime_cached`] for the sharing contract.
+    ///
+    /// # Errors
+    /// See [`Scenario::covariance_matrix`].
+    pub fn stream_cached(&self, seed: u64) -> Result<Box<dyn ChannelStream>, ScenarioError> {
+        Ok(Box::new(self.build_realtime_cached(seed)?))
+    }
+
     /// Opens this scenario as a boxed [`ChannelStream`] in real-time
     /// (Doppler) mode — the convenience entry point for services that
     /// resolve a channel simulation by name and stream blocks from it:
@@ -579,6 +610,18 @@ mod tests {
         assert!((cfg.normalized_doppler - 0.1).abs() < 1e-15);
         assert!((cfg.sigma_orig_sq - 0.25).abs() < 1e-15);
         assert_eq!(cfg.seed, 9);
+    }
+
+    #[test]
+    fn cached_realtime_build_is_bit_identical_to_uncached() {
+        let s = demo(CovarianceSpec::Exponential { rho: 0.6 }, 3);
+        let mut cached = s.build_realtime_cached(11).unwrap();
+        let mut fresh = s.build_realtime(11).unwrap();
+        assert_eq!(
+            cached.generate_block().gaussian_paths,
+            fresh.generate_block().gaussian_paths,
+            "the decomposition cache must not change the generated values"
+        );
     }
 
     #[test]

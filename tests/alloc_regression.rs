@@ -4,8 +4,13 @@
 //!
 //! A counting global allocator records every allocation of the test binary;
 //! the test measures the delta across a window of streamed blocks after a
-//! warm-up phase. The whole file holds exactly one `#[test]` so no
-//! concurrently running test can pollute the counter.
+//! warm-up phase. The guarantee is also enforced end to end through the
+//! multi-stream batch engine: a warm [`corrfade_parallel::StreamFleet`]
+//! advance — every stream's block generated concurrently on the persistent
+//! worker pool — must not allocate either, which pins the whole pipeline
+//! (pool dispatch, per-stream locks, pinned blocks, generator scratch).
+//! The whole file holds exactly one `#[test]` so no concurrently running
+//! test can pollute the counter.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -112,5 +117,28 @@ fn next_block_into_is_allocation_free_after_warmup() {
     assert_eq!(
         delta, 0,
         "SorooshyariDautGenerator::next_block_into allocated {delta} time(s) after warm-up"
+    );
+
+    // The multi-stream fleet: K named scenarios generated concurrently on
+    // the persistent worker pool. Warm-up spawns the global pool, sizes the
+    // per-stream blocks and the workers' pinned scratch; after that, a full
+    // fleet advance must be allocation-free end to end (pool handshake,
+    // stream locks, Doppler generation, coloring).
+    let mut fleet = corrfade_parallel::StreamFleet::open(
+        &["fig4a-spectral", "fig4b-spatial", "two-envelope-complex"],
+        1,
+    )
+    .unwrap();
+    for _ in 0..2 {
+        fleet.advance().unwrap();
+    }
+    let before = allocations();
+    for _ in 0..8 {
+        fleet.advance().unwrap();
+    }
+    let delta = allocations() - before;
+    assert_eq!(
+        delta, 0,
+        "StreamFleet::advance allocated {delta} time(s) after warm-up"
     );
 }

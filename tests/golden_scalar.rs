@@ -109,4 +109,36 @@ fn scalar_backend_reproduces_pre_kernel_golden_outputs() {
         .with_stream_block_len(8);
     si.next_block_into(&mut block).unwrap();
     assert_bits(&block, &SINGLE_INSTANT, "single-instant block");
+
+    // The process-wide decomposition cache: a generator assembled from the
+    // cached coloring must reproduce the identical golden bits (the cache
+    // key is the exact bit pattern of the covariance matrix, so a hit
+    // returns exactly what the uncached decomposition produced), and the
+    // second lookup must be answered from the cache.
+    let k = paper_covariance_matrix_22();
+    let before = corrfade::coloring_cache_stats();
+    let first = corrfade::cached_eigen_coloring(&k).unwrap();
+    let second = corrfade::cached_eigen_coloring(&k).unwrap();
+    let after = corrfade::coloring_cache_stats();
+    assert!(
+        after.misses > before.misses && after.hits > before.hits,
+        "second lookup of the same covariance must hit the cache \
+         (stats {before:?} -> {after:?})"
+    );
+    assert_eq!(
+        first.matrix.as_slice(),
+        second.matrix.as_slice(),
+        "cache hit returned a different coloring"
+    );
+    let cfg_cached = RealtimeConfig {
+        covariance: k,
+        idft_size: 512,
+        normalized_doppler: 0.05,
+        sigma_orig_sq: 0.5,
+        seed: 0xBEEF,
+    };
+    let mut rt_cached =
+        RealtimeGenerator::from_coloring(corrfade::Coloring::clone(&second), cfg_cached).unwrap();
+    rt_cached.next_block_into(&mut block).unwrap();
+    assert_bits(&block, &REALTIME_BLOCK1, "cached-coloring realtime block 1");
 }

@@ -105,12 +105,15 @@ fn parallel_engine_is_thread_count_invariant_through_streaming() {
                 "{label}: ensemble changed with {threads} threads"
             );
         }
+        // Chunk 0 covers the first `effective_chunk_size` samples (the
+        // configured chunk_size bounded by the load-balancing heuristic).
+        let chunk0 = cfg(1).effective_chunk_size(1000);
         let mut sequential =
             CorrelatedRayleighGenerator::new(k.clone(), corrfade_parallel::chunk_seed(77, 0))
                 .unwrap();
         assert_eq!(
-            &one[..256],
-            &sequential.generate_snapshots(256)[..],
+            &one[..chunk0],
+            &sequential.generate_snapshots(chunk0)[..],
             "{label}: parallel chunk 0 diverged from the sequential generator"
         );
 
