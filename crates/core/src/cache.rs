@@ -10,6 +10,13 @@
 //! bit pattern** of the covariance matrix ([`MatrixKey`]), one for the
 //! paper's eigen-coloring and one for the conventional Cholesky coloring.
 //!
+//! The backing cache is sharded: hits take only a shared read guard on one
+//! stripe (concurrent opens of warm scenarios never serialize on a lock),
+//! and a miss runs the decomposition with **no lock held** — concurrent
+//! first opens of the same matrix elect one leader that factorizes exactly
+//! once while the rest wait for the published value. Eviction is
+//! least-recently-used per stripe.
+//!
 //! Because the key is bitwise and both factorizations are deterministic
 //! functions of their input, a cache hit returns a value bit-identical to
 //! what a fresh [`eigen_coloring`] / [`cholesky_coloring`] call would
@@ -36,7 +43,9 @@ static CHOLESKY_CACHE: FactorCache<CMatrix> = FactorCache::new(COLORING_CACHE_CA
 
 /// [`eigen_coloring`] through the process-wide decomposition cache: the
 /// first request for a given covariance bit pattern computes and stores the
-/// coloring, every later request for the same matrix shares it.
+/// coloring (outside any lock, exactly once even under concurrent first
+/// requests), every later request for the same matrix shares it through a
+/// read-only lookup.
 ///
 /// The returned value is bit-identical to what an uncached
 /// [`eigen_coloring`] call would produce. Callers that need an owned

@@ -87,20 +87,44 @@ pub fn vector_uses_fma() -> bool {
     vector::has_fma_isa()
 }
 
+/// Parses a `CORRFADE_KERNEL` value (`None` = variable unset) into a
+/// backend. Values are trimmed and matched case-insensitively; anything
+/// else — including an empty or whitespace-only string — is rejected with
+/// a diagnostic naming the variable, the offending value and the accepted
+/// forms, so a typo can never silently fall back to the default backend.
+///
+/// # Errors
+/// A human-readable diagnostic for any unrecognized value.
+pub fn parse_backend(value: Option<&str>) -> Result<Backend, String> {
+    let Some(raw) = value else {
+        return Ok(Backend::Vector);
+    };
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "scalar" => Ok(Backend::Scalar),
+        "vector" | "simd" => Ok(Backend::Vector),
+        "auto" => Ok(Backend::Vector),
+        _ => Err(format!(
+            "CORRFADE_KERNEL={raw:?} is not recognized \
+             (expected \"scalar\", \"vector\"/\"simd\" or \"auto\"; \
+             unset the variable for the default)"
+        )),
+    }
+}
+
 /// The process-wide backend, latched from `CORRFADE_KERNEL` on first call.
 ///
 /// # Panics
-/// Panics if `CORRFADE_KERNEL` is set to an unrecognized value.
+/// Panics if `CORRFADE_KERNEL` is set to an unrecognized value (see
+/// [`parse_backend`]) — a typo silently falling back would make
+/// determinism hunts miserable.
 pub fn backend() -> Backend {
     static BACKEND: OnceLock<Backend> = OnceLock::new();
-    *BACKEND.get_or_init(|| match std::env::var("CORRFADE_KERNEL").as_deref() {
-        Ok("scalar") => Backend::Scalar,
-        Ok("vector") | Ok("simd") => Backend::Vector,
-        Ok("auto") | Err(_) => Backend::Vector,
-        Ok(other) => panic!(
-            "CORRFADE_KERNEL={other:?} is not recognized \
-             (expected \"scalar\", \"vector\"/\"simd\" or \"auto\")"
-        ),
+    *BACKEND.get_or_init(|| {
+        let value = std::env::var("CORRFADE_KERNEL").ok();
+        match parse_backend(value.as_deref()) {
+            Ok(backend) => backend,
+            Err(diagnostic) => panic!("{diagnostic}"),
+        }
     })
 }
 
@@ -432,5 +456,33 @@ mod tests {
     fn matvec_checks_dimensions() {
         let mut y = [Complex64::ZERO; 2];
         matvec_into_with(Backend::Scalar, 2, 2, &[Complex64::ZERO; 4], &[], &mut y);
+    }
+
+    #[test]
+    fn backend_spec_parsing_accepts_documented_forms() {
+        assert_eq!(parse_backend(None), Ok(Backend::Vector));
+        assert_eq!(parse_backend(Some("scalar")), Ok(Backend::Scalar));
+        assert_eq!(parse_backend(Some("vector")), Ok(Backend::Vector));
+        assert_eq!(parse_backend(Some("simd")), Ok(Backend::Vector));
+        assert_eq!(parse_backend(Some("auto")), Ok(Backend::Vector));
+        // Trimmed and case-insensitive — shell quoting mishaps are not
+        // configuration errors.
+        assert_eq!(parse_backend(Some(" Scalar ")), Ok(Backend::Scalar));
+        assert_eq!(parse_backend(Some("VECTOR")), Ok(Backend::Vector));
+    }
+
+    #[test]
+    fn backend_spec_parsing_rejects_garbage_with_a_diagnostic() {
+        for bad in ["", "  ", "scaler", "sse", "1", "scalar,vector"] {
+            let err = parse_backend(Some(bad)).unwrap_err();
+            assert!(
+                err.contains("CORRFADE_KERNEL") && err.contains("expected"),
+                "diagnostic must name the variable and the accepted forms: {err}"
+            );
+            assert!(
+                err.contains(&format!("{bad:?}")),
+                "diagnostic must quote the offending value: {err}"
+            );
+        }
     }
 }

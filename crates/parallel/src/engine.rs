@@ -10,8 +10,10 @@
 //! 2. splits the requested ensemble into chunks sized by the load-balancing
 //!    heuristic ([`crate::balanced_chunk_size`]), each with its own
 //!    deterministic RNG seed,
-//! 3. lets the persistent [`Runtime`] worker pool pull chunks from a shared
-//!    atomic counter; every worker owns **one pinned planar
+//! 3. deals the chunks into per-executor work-stealing lanes
+//!    ([`StealQueues`]) on the persistent [`Runtime`] pool — the submitting
+//!    thread participates as executor 0, each executor drains its own lane
+//!    and steals stragglers' backlogs; every worker owns **one pinned planar
 //!    [`SampleBlock`]** that the generators stream into through
 //!    [`ChannelStream::next_block_into`] — no per-chunk buffer allocation —
 //!    and either stores the snapshots or folds covariance accumulators
@@ -36,7 +38,6 @@
 //! before any worker starts, so `CORRFADE_KERNEL` is honoured
 //! deterministically across the pool.
 
-use std::sync::atomic::AtomicUsize;
 use std::sync::Mutex;
 
 use corrfade::{
@@ -47,7 +48,8 @@ use corrfade_linalg::{CMatrix, Complex64};
 
 use crate::error::ParallelError;
 use crate::partition::{balanced_chunk_size, chunk_seed, partition, Chunk};
-use crate::runtime::{for_each_claimed, Runtime, WorkerScratch};
+use crate::runtime::{Runtime, WorkerScratch};
+use crate::stealing::StealQueues;
 
 /// Configuration of the parallel engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -133,8 +135,8 @@ enum Executor<'rt> {
 
 impl Executor<'_> {
     /// Runs `job` with worker ids `0..participants` available; the job
-    /// distributes its work via a shared atomic counter, ids beyond
-    /// `participants` return immediately.
+    /// distributes its work via per-executor work-stealing lanes
+    /// ([`StealQueues`]), ids beyond `participants` return immediately.
     fn run(&self, participants: usize, job: &(dyn Fn(usize, &mut WorkerScratch) + Sync)) {
         match self {
             Executor::Pool(runtime) => runtime.run(job),
@@ -187,14 +189,14 @@ fn generate_snapshots_with(
     let chunks = partition(total, config.effective_chunk_size(total));
     let slots: Vec<Mutex<Vec<Vec<Complex64>>>> =
         chunks.iter().map(|_| Mutex::new(Vec::new())).collect();
-    let next = AtomicUsize::new(0);
     let participants = config.effective_threads().min(chunks.len()).max(1);
+    let queues = StealQueues::new(chunks.len(), participants);
 
     executor.run(participants, &|id, scratch| {
         if id >= participants {
             return;
         }
-        for_each_claimed(&next, chunks.len(), |i| {
+        queues.for_each_claimed(id, |i| {
             let chunk = chunks[i];
             stream_chunk(
                 &coloring,
@@ -286,8 +288,8 @@ fn monte_carlo_covariance_with(
     let coloring = corrfade::cached_eigen_coloring(covariance)?;
     let n = coloring.dimension();
     let chunks = partition(total, config.effective_chunk_size(total));
-    let next = AtomicUsize::new(0);
     let participants = config.effective_threads().min(chunks.len()).max(1);
+    let queues = StealQueues::new(chunks.len(), participants);
     // One accumulator per chunk, merged in chunk order below: the summation
     // order is fixed by the chunk layout, never by scheduling.
     let slots: Vec<Mutex<CMatrix>> = chunks
@@ -299,7 +301,7 @@ fn monte_carlo_covariance_with(
         if id >= participants {
             return;
         }
-        for_each_claimed(&next, chunks.len(), |i| {
+        queues.for_each_claimed(id, |i| {
             let chunk = chunks[i];
             stream_chunk(
                 &coloring,
@@ -379,14 +381,14 @@ fn generate_realtime_paths_with(
 
     let slots: Vec<Mutex<Vec<Vec<Complex64>>>> =
         (0..blocks).map(|_| Mutex::new(Vec::new())).collect();
-    let next = AtomicUsize::new(0);
     let participants = config.effective_threads().min(blocks.max(1));
+    let queues = StealQueues::new(blocks, participants);
 
     executor.run(participants, &|id, scratch| {
         if id >= participants {
             return;
         }
-        for_each_claimed(&next, blocks, |i| {
+        queues.for_each_claimed(id, |i| {
             let mut gen = prototype.reseeded(chunk_seed(base.seed, i));
             gen.next_block_into(&mut scratch.block)
                 .expect("configuration validated above");

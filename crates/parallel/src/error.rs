@@ -18,6 +18,17 @@ pub enum ParallelError {
     /// A [`crate::StreamFleet`] member failed to resolve or build from the
     /// scenario registry (unknown name, invalid resize, …).
     Scenario(ScenarioError),
+    /// One or more worker executions of a submitted job panicked. The pool
+    /// itself survives — subsequent submissions run normally — but the
+    /// failed job's output must not be trusted. Reported as a typed error
+    /// by [`crate::Runtime::try_run`] (and surfaced through fallible
+    /// callers such as [`crate::StreamFleet::advance`]) instead of the
+    /// poisoned-mutex cascade panics an unhandled worker panic used to
+    /// cause.
+    JobPanicked {
+        /// Number of worker executions that panicked.
+        panicked: usize,
+    },
 }
 
 impl fmt::Display for ParallelError {
@@ -28,6 +39,12 @@ impl fmt::Display for ParallelError {
             }
             ParallelError::Core(e) => write!(f, "generator error: {e}"),
             ParallelError::Scenario(e) => write!(f, "fleet scenario error: {e}"),
+            ParallelError::JobPanicked { panicked } => write!(
+                f,
+                "{panicked} pool worker(s) panicked while executing the job \
+                 (see stderr for the worker panic message); the pool \
+                 survives and later submissions run normally"
+            ),
         }
     }
 }
@@ -37,7 +54,7 @@ impl std::error::Error for ParallelError {
         match self {
             ParallelError::Core(e) => Some(e),
             ParallelError::Scenario(e) => Some(e),
-            ParallelError::InvalidChunkSize => None,
+            ParallelError::InvalidChunkSize | ParallelError::JobPanicked { .. } => None,
         }
     }
 }

@@ -14,11 +14,13 @@
 //!   once, at open.
 //! * **Generate in batch** — [`StreamFleet::advance`] produces the next
 //!   block for *every* stream concurrently on the persistent
-//!   [`Runtime`] pool: workers pull stream indices from a shared counter
-//!   and write each stream's block into that stream's own pooled
+//!   [`Runtime`] pool: streams are dealt into per-executor work-stealing
+//!   lanes (stable affinity, stealing for skew — see
+//!   [`crate::stealing`]), the submitting thread participates as executor
+//!   0, and each stream's block lands in that stream's own pooled
 //!   [`SampleBlock`]. After warm-up an advance performs **zero heap
 //!   allocation** (the workspace's allocation-regression test measures
-//!   this end to end through the pool).
+//!   this end to end through the pool, including the re-dealt lanes).
 //! * **Isolation by construction** — stream `i` owns an independent RNG
 //!   stream seeded with [`stream_seed`]`(master_seed, i)`. Which worker
 //!   generates which block, and how many workers exist, cannot influence
@@ -27,7 +29,6 @@
 //!   ([`Scenario::build_realtime`] + repeated `next_block_into`), on any
 //!   thread count and both kernel backends.
 
-use std::sync::atomic::AtomicUsize;
 use std::sync::Mutex;
 
 use corrfade::{ChannelStream, RealtimeGenerator, SampleBlock};
@@ -35,7 +36,8 @@ use corrfade_scenarios::{lookup, Scenario};
 
 use crate::error::ParallelError;
 use crate::partition::chunk_seed;
-use crate::runtime::{for_each_claimed, Runtime};
+use crate::runtime::Runtime;
+use crate::stealing::StealQueues;
 
 /// Derives the RNG seed of fleet stream `index` from the fleet's master
 /// seed (the same SplitMix64 derivation as [`chunk_seed`]). Running
@@ -72,6 +74,10 @@ pub struct StreamFleet {
     scenarios: Vec<&'static Scenario>,
     slots: Vec<Mutex<FleetSlot>>,
     master_seed: u64,
+    /// Reusable work-stealing lanes of the pooled advance: re-dealt per
+    /// advance (no allocation once warm), popped by executors with
+    /// stealing for skew tolerance.
+    stealing: StealQueues,
 }
 
 impl std::fmt::Debug for StreamFleet {
@@ -125,6 +131,7 @@ impl StreamFleet {
             scenarios: scenarios.to_vec(),
             slots,
             master_seed,
+            stealing: StealQueues::default(),
         })
     }
 
@@ -169,9 +176,18 @@ impl StreamFleet {
     /// Generates the next block for every stream concurrently on the
     /// global [`Runtime`] pool.
     ///
+    /// Streams are dealt round-robin into per-executor work-stealing
+    /// lanes ([`crate::stealing::StealQueues`]): executor `w` prefers
+    /// streams `w, w + lanes, …` every advance (stable affinity for the
+    /// per-stream locks and buffers it warmed last time), and executors
+    /// whose lane drains early steal the stragglers' backlog — a skewed
+    /// fleet (streams with very different `N` and `M`) keeps every core
+    /// busy until the whole advance is done. The submitting thread itself
+    /// is executor 0, so no core idles behind the barrier.
+    ///
     /// # Errors
-    /// Infallible today (real-time generation cannot fail after
-    /// construction); the `Result` reserves room for fallible streams.
+    /// [`ParallelError::JobPanicked`] when a stream's generation panicked
+    /// on a pool executor (the pool itself survives).
     pub fn advance(&mut self) -> Result<(), ParallelError> {
         self.advance_on(Runtime::global())
     }
@@ -182,18 +198,22 @@ impl StreamFleet {
     /// # Errors
     /// See [`StreamFleet::advance`].
     pub fn advance_on(&mut self, runtime: &Runtime) -> Result<(), ParallelError> {
-        let next = AtomicUsize::new(0);
+        let lanes = runtime.workers().min(self.slots.len()).max(1);
+        self.stealing.reset(self.slots.len(), lanes);
         let slots = &self.slots;
-        runtime.run(&|_id, _scratch| {
-            for_each_claimed(&next, slots.len(), |i| {
+        let stealing = &self.stealing;
+        runtime.try_run(&|id, _scratch| {
+            if id >= lanes {
+                return;
+            }
+            stealing.for_each_claimed(id, |i| {
                 let mut slot = slots[i].lock().unwrap();
                 let FleetSlot { stream, block } = &mut *slot;
                 stream
                     .next_block_into(block)
                     .expect("realtime generation is infallible after construction");
             });
-        });
-        Ok(())
+        })
     }
 
     /// Generates the next block for every stream on the calling thread, in

@@ -5,9 +5,15 @@
 //!
 //! * [`runtime::Runtime`] — a pool of long-lived workers created once and
 //!   reused across calls (per-worker pinned [`corrfade::SampleBlock`]
-//!   scratch, per-worker kernel-backend latch, graceful shutdown on drop);
-//!   [`Runtime::global()`] is the process-wide instance behind the free
-//!   functions,
+//!   scratch, per-worker kernel-backend latch, graceful shutdown on drop).
+//!   The **submitting thread participates as executor 0** — a pool of `W`
+//!   executors spawns only `W − 1` threads and the caller never idles at
+//!   the completion barrier; [`Runtime::global()`] is the process-wide
+//!   instance behind the free functions,
+//! * [`stealing::StealQueues`] — per-executor work-stealing lanes: items
+//!   are dealt round-robin for deterministic affinity, executors pop their
+//!   own lane front and steal stragglers' backs, so skewed workloads keep
+//!   every core busy,
 //! * [`engine::generate_snapshots`] — ordered, thread-count-invariant
 //!   ensembles of independent snapshots,
 //! * [`engine::monte_carlo_covariance`] — streaming estimation of
@@ -32,9 +38,14 @@
 //! [`engine::spawn`] module keeps the historical spawn-per-call execution
 //! (bit-identical results) for comparison benchmarks.
 //!
-//! Configuration mistakes that could never run (a zero
-//! [`ParallelConfig::chunk_size`]) are reported as the typed
-//! [`ParallelError::InvalidChunkSize`] instead of hanging or panicking.
+//! Failures are typed, never cascading: a zero
+//! [`ParallelConfig::chunk_size`] is [`ParallelError::InvalidChunkSize`],
+//! and a job that panics on a pool executor surfaces as
+//! [`ParallelError::JobPanicked`] from [`Runtime::try_run`] (and the fleet's
+//! fallible advance) while the pool itself survives for subsequent submits —
+//! no poisoned-mutex cascade. Malformed `CORRFADE_POOL_THREADS` values are
+//! rejected with a clear diagnostic ([`runtime::parse_pool_threads`])
+//! instead of being silently ignored.
 
 #![warn(missing_docs)]
 
@@ -43,6 +54,7 @@ pub mod error;
 pub mod fleet;
 pub mod partition;
 pub mod runtime;
+pub mod stealing;
 
 pub use engine::{
     generate_realtime_paths, generate_realtime_paths_on, generate_snapshots, generate_snapshots_on,
@@ -51,6 +63,8 @@ pub use engine::{
 pub use error::ParallelError;
 pub use fleet::{stream_seed, StreamFleet};
 pub use partition::{
-    balanced_chunk_size, chunk_seed, partition, Chunk, MIN_CHUNK_SAMPLES, TARGET_CHUNKS,
+    balanced_chunk_size, chunk_seed, partition, round_robin_lane, Chunk, MIN_CHUNK_SAMPLES,
+    TARGET_CHUNKS,
 };
-pub use runtime::{Runtime, WorkerScratch};
+pub use runtime::{parse_pool_threads, Runtime, WorkerScratch};
+pub use stealing::StealQueues;

@@ -1,0 +1,205 @@
+//! Work-stealing distribution of per-item jobs across pool executors.
+//!
+//! The first pooled engine distributed work through a single shared atomic
+//! counter: correct and simple, but every claim of every executor hammered
+//! one cache line, and an executor had no affinity — stream `i` of a fleet
+//! landed on a different worker every advance, churning whatever state
+//! (branch predictors, per-stream locks, the stream's own buffers) the
+//! previous advance had warmed.
+//!
+//! [`StealQueues`] replaces the counter with the classic per-worker deque
+//! scheme:
+//!
+//! * work item `i` is **dealt** round-robin into lane
+//!   [`round_robin_lane`]`(i, lanes)` — a pure function of the item index
+//!   and the lane count, so the *preferred* executor of an item is
+//!   deterministic (affinity), while the output never depends on who
+//!   actually runs it;
+//! * each executor pops from the **front** of its own lane — uncontended in
+//!   the common case — and only when its lane runs dry does it **steal
+//!   from the back** of the other lanes, scanning them in a
+//!   lane-relative order so thieves spread out instead of stampeding one
+//!   victim;
+//! * a skewed workload (fleet streams with very different `N` and `M`,
+//!   chunks of different cost) therefore keeps every executor busy until
+//!   the queues are globally empty: fast executors drain their own lane and
+//!   then finish the stragglers' backlogs instead of idling at the epoch
+//!   barrier.
+//!
+//! The deques are plain `Mutex<VecDeque<usize>>` lanes (std only — no
+//! lock-free deque dependency); the mutexes are per-lane, held for a
+//! single pop each, and the lanes are reusable in place:
+//! [`StealQueues::reset`] refills warm capacity without allocating, which
+//! keeps the fleet's steady-state advance allocation-free end to end.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use crate::partition::round_robin_lane;
+
+/// Per-executor work-stealing deques over item indices `0..items`. See the
+/// [module docs](self).
+#[derive(Debug, Default)]
+pub struct StealQueues {
+    lanes: Vec<Mutex<VecDeque<usize>>>,
+    /// Lanes participating in the current round (`lanes` may retain more,
+    /// warm, from earlier rounds with wider pools).
+    active: usize,
+}
+
+impl StealQueues {
+    /// Creates queues for `items` work indices dealt over `lanes` lanes
+    /// (clamped to at least 1).
+    #[must_use]
+    pub fn new(items: usize, lanes: usize) -> Self {
+        let mut queues = Self::default();
+        queues.reset(items, lanes);
+        queues
+    }
+
+    /// Re-deals indices `0..items` over `lanes` lanes (clamped to at least
+    /// 1), reusing the existing deque storage: once every lane has grown to
+    /// its steady-state capacity this performs **no heap allocation**.
+    pub fn reset(&mut self, items: usize, lanes: usize) {
+        let lanes = lanes.max(1);
+        while self.lanes.len() < lanes {
+            self.lanes.push(Mutex::new(VecDeque::new()));
+        }
+        self.active = lanes;
+        for lane in &mut self.lanes {
+            lane.get_mut().unwrap().clear();
+        }
+        for item in 0..items {
+            self.lanes[round_robin_lane(item, lanes)]
+                .get_mut()
+                .unwrap()
+                .push_back(item);
+        }
+    }
+
+    /// Number of lanes participating in the current round.
+    #[must_use]
+    pub fn active_lanes(&self) -> usize {
+        self.active
+    }
+
+    /// Claims the next work item for executor `lane`: the front of its own
+    /// lane, or — once that is empty — an item stolen from the back of
+    /// another lane. Returns `None` only when every lane is empty at the
+    /// moment of the scan.
+    ///
+    /// Each item is claimed by exactly one caller; which caller claims it
+    /// affects wall-clock only, never the produced values.
+    pub fn pop(&self, lane: usize) -> Option<usize> {
+        let active = self.active;
+        let own = lane % active;
+        if let Some(item) = lock_lane(&self.lanes[own]).pop_front() {
+            return Some(item);
+        }
+        for offset in 1..active {
+            let victim = (own + offset) % active;
+            if let Some(item) = lock_lane(&self.lanes[victim]).pop_back() {
+                return Some(item);
+            }
+        }
+        None
+    }
+
+    /// Drains work for executor `lane`: runs `work` on every item claimed
+    /// from its own lane or stolen from others, until all lanes are empty.
+    pub fn for_each_claimed(&self, lane: usize, mut work: impl FnMut(usize)) {
+        while let Some(item) = self.pop(lane) {
+            work(item);
+        }
+    }
+}
+
+/// Locks one lane, recovering from poisoning: lane mutexes are only ever
+/// held across a single `pop_front`/`pop_back`, so the deque is consistent
+/// even if a claimant panicked elsewhere while holding it.
+fn lock_lane(lane: &Mutex<VecDeque<usize>>) -> std::sync::MutexGuard<'_, VecDeque<usize>> {
+    lane.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn deal_is_round_robin() {
+        let queues = StealQueues::new(7, 3);
+        assert_eq!(queues.active_lanes(), 3);
+        // Lane 0 gets 0,3,6; lane 1 gets 1,4; lane 2 gets 2,5 — and each
+        // executor pops its own lane front-first.
+        assert_eq!(queues.pop(0), Some(0));
+        assert_eq!(queues.pop(1), Some(1));
+        assert_eq!(queues.pop(2), Some(2));
+        assert_eq!(queues.pop(0), Some(3));
+        assert_eq!(queues.pop(0), Some(6));
+    }
+
+    #[test]
+    fn exhausted_lanes_steal_from_the_back() {
+        let queues = StealQueues::new(4, 2);
+        // Lane 1 holds [1, 3]; once lane 0 is drained it steals 3 (the
+        // back of lane 1) rather than racing the owner for 1 (the front).
+        assert_eq!(queues.pop(0), Some(0));
+        assert_eq!(queues.pop(0), Some(2));
+        assert_eq!(queues.pop(0), Some(3), "steal takes the victim's back");
+        assert_eq!(queues.pop(1), Some(1));
+        assert_eq!(queues.pop(0), None);
+        assert_eq!(queues.pop(1), None);
+    }
+
+    #[test]
+    fn every_item_is_claimed_exactly_once_under_contention() {
+        const ITEMS: usize = 1000;
+        const LANES: usize = 4;
+        let queues = StealQueues::new(ITEMS, LANES);
+        let claims: Vec<AtomicUsize> = (0..ITEMS).map(|_| AtomicUsize::new(0)).collect();
+        std::thread::scope(|scope| {
+            for lane in 0..LANES {
+                let queues = &queues;
+                let claims = &claims;
+                scope.spawn(move || {
+                    queues.for_each_claimed(lane, |item| {
+                        claims[item].fetch_add(1, Ordering::Relaxed);
+                    });
+                });
+            }
+        });
+        for (item, count) in claims.iter().enumerate() {
+            assert_eq!(count.load(Ordering::Relaxed), 1, "item {item}");
+        }
+    }
+
+    #[test]
+    fn reset_reuses_lanes_and_narrows_active_set() {
+        let mut queues = StealQueues::new(8, 4);
+        queues.for_each_claimed(0, |_| {});
+        // Narrower re-deal: old lanes beyond the active set are ignored.
+        queues.reset(5, 2);
+        assert_eq!(queues.active_lanes(), 2);
+        let mut seen = Vec::new();
+        queues.for_each_claimed(7, |item| seen.push(item)); // lane id wraps
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_items_terminate_immediately() {
+        let queues = StealQueues::new(0, 3);
+        assert_eq!(queues.pop(0), None);
+        let mut ran = false;
+        queues.for_each_claimed(1, |_| ran = true);
+        assert!(!ran);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn zero_lanes_rejected() {
+        let _ = round_robin_lane(0, 0);
+    }
+}
