@@ -235,6 +235,76 @@ impl SampleBlock {
         crate::kernel::accumulate_covariance(n, m, &self.data, acc.as_mut_slice());
     }
 
+    /// Number of bytes the block occupies in the wire encoding of
+    /// [`SampleBlock::encode_le_into`] (`N·M` complex samples × 16 bytes).
+    #[must_use]
+    pub fn wire_len(&self) -> usize {
+        self.data.len() * WIRE_BYTES_PER_SAMPLE
+    }
+
+    /// Appends the planar complex data to `out` in the wire encoding: the
+    /// envelope-major sample order of [`SampleBlock::as_slice`], each sample
+    /// as two little-endian IEEE-754 `f64` words (`re` then `im`), routed
+    /// through [`f64::to_bits`] so the round trip with
+    /// [`SampleBlock::decode_le_from`] is **bit-exact** — the foundation of
+    /// the serving layer's wire-equivalence guarantee.
+    ///
+    /// Appends exactly [`SampleBlock::wire_len`] bytes; once `out` has the
+    /// capacity (steady state of a pooled buffer), no heap allocation is
+    /// performed. The lazy envelope view is derived data and never
+    /// serialized.
+    pub fn encode_le_into(&self, out: &mut Vec<u8>) {
+        out.reserve(self.wire_len());
+        for z in &self.data {
+            out.extend_from_slice(&z.re.to_bits().to_le_bytes());
+            out.extend_from_slice(&z.im.to_bits().to_le_bytes());
+        }
+    }
+
+    /// Rebuilds the block from the wire encoding of
+    /// [`SampleBlock::encode_le_into`]: resizes to `envelopes × samples`
+    /// (capacity-reusing) and fills the planar data from `bytes`,
+    /// bit-exactly via [`f64::from_bits`]. Zero heap allocation once the
+    /// block's capacity fits the shape.
+    ///
+    /// # Errors
+    /// [`BlockWireError`] when `bytes` is not exactly
+    /// `envelopes · samples · 16` bytes long — a typed error (never a
+    /// panic), so adversarial frame payloads are rejected gracefully.
+    pub fn decode_le_from(
+        &mut self,
+        envelopes: usize,
+        samples: usize,
+        bytes: &[u8],
+    ) -> Result<(), BlockWireError> {
+        let expected = envelopes
+            .checked_mul(samples)
+            .and_then(|n| n.checked_mul(WIRE_BYTES_PER_SAMPLE))
+            .ok_or(BlockWireError {
+                expected: usize::MAX,
+                got: bytes.len(),
+            })?;
+        if bytes.len() != expected {
+            return Err(BlockWireError {
+                expected,
+                got: bytes.len(),
+            });
+        }
+        self.resize(envelopes, samples);
+        self.env_valid = false;
+        for (z, chunk) in self
+            .data
+            .iter_mut()
+            .zip(bytes.chunks_exact(WIRE_BYTES_PER_SAMPLE))
+        {
+            let re = u64::from_le_bytes(chunk[..8].try_into().expect("chunk is 16 bytes"));
+            let im = u64::from_le_bytes(chunk[8..].try_into().expect("chunk is 16 bytes"));
+            z.re = f64::from_bits(re);
+            z.im = f64::from_bits(im);
+        }
+        Ok(())
+    }
+
     /// Copies the block out into the legacy `Vec<Vec<Complex64>>` per-path
     /// representation (one allocation per envelope — compatibility only; hot
     /// paths should stay planar).
@@ -267,6 +337,34 @@ impl SampleBlock {
             .collect()
     }
 }
+
+/// Bytes one complex sample occupies in the [`SampleBlock::encode_le_into`]
+/// wire encoding: two little-endian IEEE-754 `f64` words.
+pub const WIRE_BYTES_PER_SAMPLE: usize = 16;
+
+/// Typed rejection of a wire payload whose length does not match the block
+/// shape it claims — returned by [`SampleBlock::decode_le_from`] so
+/// truncated or padded network frames surface as errors, never panics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockWireError {
+    /// Byte length the declared `envelopes × samples` shape requires
+    /// (`usize::MAX` when the shape itself overflows).
+    pub expected: usize,
+    /// Byte length actually supplied.
+    pub got: usize,
+}
+
+impl core::fmt::Display for BlockWireError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "sample-block wire payload is {} byte(s) but the declared shape requires {}",
+            self.got, self.expected
+        )
+    }
+}
+
+impl std::error::Error for BlockWireError {}
 
 impl PartialEq for SampleBlock {
     /// Equality compares shape and complex contents; the lazily cached
@@ -442,6 +540,45 @@ mod tests {
         let snaps = b.to_snapshots();
         assert_eq!(snaps.len(), 3);
         assert_eq!(snaps[2], vec![b.path(0)[2], b.path(1)[2]]);
+    }
+
+    #[test]
+    fn wire_round_trip_is_bit_exact_and_rejects_bad_lengths() {
+        let mut src = filled(3, 5);
+        // Include awkward bit patterns: negative zero, subnormal, NaN with
+        // payload, infinity — the round trip must preserve the exact bits.
+        src.path_mut(0)[0] = c64(-0.0, f64::MIN_POSITIVE / 4.0);
+        src.path_mut(1)[2] = c64(f64::from_bits(0x7ff8_0000_dead_beef), f64::INFINITY);
+
+        let mut wire = Vec::new();
+        src.encode_le_into(&mut wire);
+        assert_eq!(wire.len(), src.wire_len());
+        assert_eq!(src.wire_len(), 3 * 5 * WIRE_BYTES_PER_SAMPLE);
+
+        let mut dst = SampleBlock::empty();
+        dst.decode_le_from(3, 5, &wire).unwrap();
+        for (a, b) in src.as_slice().iter().zip(dst.as_slice()) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits());
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+
+        // Decoding into a warm same-shape block refreshes the stale
+        // envelope cache.
+        let mut warm = filled(3, 5);
+        let _ = warm.envelope_path(0);
+        warm.decode_le_from(3, 5, &wire).unwrap();
+        assert!((warm.envelope_path(0)[0] - 0.0).abs() < f64::MIN_POSITIVE);
+
+        // Truncated and padded payloads are typed errors, not panics.
+        let err = dst
+            .decode_le_from(3, 5, &wire[..wire.len() - 1])
+            .unwrap_err();
+        assert_eq!(err.expected, 240);
+        assert_eq!(err.got, 239);
+        assert!(err.to_string().contains("239"));
+        assert!(dst.decode_le_from(3, 6, &wire).is_err());
+        // Shape overflow is caught instead of wrapping.
+        assert!(dst.decode_le_from(usize::MAX, usize::MAX, &wire).is_err());
     }
 
     #[test]

@@ -61,7 +61,7 @@ pub use engine::{
     monte_carlo_covariance, monte_carlo_covariance_on, spawn, ParallelConfig,
 };
 pub use error::ParallelError;
-pub use fleet::{stream_seed, StreamFleet};
+pub use fleet::{stream_seed, StreamFleet, StreamKey};
 pub use partition::{
     balanced_chunk_size, chunk_seed, partition, round_robin_lane, Chunk, MIN_CHUNK_SAMPLES,
     TARGET_CHUNKS,

@@ -94,7 +94,7 @@ pub mod registry;
 pub mod scenario;
 
 pub use error::ScenarioError;
-pub use registry::{iter, lookup, names, PAPER_CHANNEL, REGISTRY};
+pub use registry::{iter, lookup, names, suggest, PAPER_CHANNEL, REGISTRY};
 pub use scenario::{CovarianceSpec, DopplerSettings, PowerProfile, Provenance, Scenario};
 
 #[cfg(test)]

@@ -349,7 +349,23 @@ pub fn lookup(name: &str) -> Result<&'static Scenario, ScenarioError> {
 }
 
 /// The registered name sharing the longest prefix with `name` (at least
-/// four characters), if any — a cheap "did you mean" for typos.
+/// four characters), if any — the "did you mean" suggestion attached to
+/// [`ScenarioError::UnknownScenario`], exported so remote-facing layers
+/// (the `corrfade-serve` wire protocol) can embed the same suggestion in
+/// their own typed error frames.
+///
+/// ```
+/// assert_eq!(
+///     corrfade_scenarios::suggest("fig4a-spektral"),
+///     Some("fig4a-spectral")
+/// );
+/// assert_eq!(corrfade_scenarios::suggest("zzz"), None);
+/// ```
+#[must_use]
+pub fn suggest(name: &str) -> Option<&'static str> {
+    closest_name(name)
+}
+
 fn closest_name(name: &str) -> Option<&'static str> {
     REGISTRY
         .iter()

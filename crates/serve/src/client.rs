@@ -1,0 +1,232 @@
+//! Blocking client for the `corrfade-serve` wire protocol.
+//!
+//! A [`Client`] drives one connection through the protocol's linear state
+//! machine: connect → [`Client::subscribe`] (request + header frame) →
+//! repeated [`Client::next_block_into`] until the end frame. Frame bytes
+//! land in one reusable internal buffer and samples are decoded straight
+//! into the caller's [`SampleBlock`], so a warm receive loop performs zero
+//! heap allocation — the mirror image of the server's send path.
+
+use std::io::{Read, Write};
+use std::time::Duration;
+
+use corrfade::SampleBlock;
+
+use crate::error::ServeError;
+use crate::net::{Conn, ServeAddr};
+use crate::protocol::{
+    decode_block_payload, decode_frame_payload, encode_request, tag, Frame, ProtocolError, Request,
+    MAX_FRAME_LEN,
+};
+
+/// Shape echo the server sends before the first block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamHeader {
+    /// Envelope count `N` of every block.
+    pub envelopes: u32,
+    /// Samples `M` per envelope per block.
+    pub samples: u32,
+    /// Number of block frames the server will stream.
+    pub blocks: u32,
+}
+
+/// A blocking protocol client over TCP or a Unix-domain socket.
+///
+/// See the crate docs for a complete subscribe-and-stream example.
+#[derive(Debug)]
+pub struct Client {
+    conn: Conn,
+    /// Reusable frame buffer: every read lands here, capacity persists.
+    frame: Vec<u8>,
+    header: Option<StreamHeader>,
+}
+
+impl Client {
+    /// Connects to a server with the default 30-second I/O timeout.
+    ///
+    /// # Errors
+    /// [`ServeError::Io`] when the connection cannot be established.
+    pub fn connect(addr: &ServeAddr) -> Result<Self, ServeError> {
+        Self::connect_timeout(addr, Duration::from_secs(30))
+    }
+
+    /// Connects with an explicit connect/read/write timeout.
+    ///
+    /// # Errors
+    /// [`ServeError::Io`] when the connection cannot be established.
+    pub fn connect_timeout(addr: &ServeAddr, timeout: Duration) -> Result<Self, ServeError> {
+        let conn = Conn::connect(addr, timeout)?;
+        Ok(Self {
+            conn,
+            frame: Vec::new(),
+            header: None,
+        })
+    }
+
+    /// Sends the request and reads the stream header. Must be called once,
+    /// before the first [`Client::next_block_into`].
+    ///
+    /// # Errors
+    /// [`ServeError::Server`] carries the server's typed error frame
+    /// (unknown scenario with a did-you-mean suggestion, version mismatch,
+    /// …); [`ServeError::Io`] / [`ServeError::Protocol`] cover transport
+    /// and framing failures.
+    pub fn subscribe(
+        &mut self,
+        scenario: &str,
+        seed: u64,
+        blocks: u32,
+    ) -> Result<StreamHeader, ServeError> {
+        let request = Request {
+            scenario: scenario.to_string(),
+            seed,
+            blocks,
+        };
+        self.frame.clear();
+        encode_request(&request, &mut self.frame);
+        self.conn.write_all(&self.frame)?;
+
+        let payload = read_frame(&mut self.conn, &mut self.frame, "stream header")?;
+        match decode_frame_payload(payload)? {
+            Frame::Header {
+                envelopes,
+                samples,
+                blocks,
+            } => {
+                let header = StreamHeader {
+                    envelopes,
+                    samples,
+                    blocks,
+                };
+                self.header = Some(header);
+                Ok(header)
+            }
+            Frame::Error { code, message } => Err(ServeError::Server { code, message }),
+            Frame::Block { .. } => Err(ServeError::UnexpectedFrame {
+                expected: "header frame",
+                got: tag::BLOCK,
+            }),
+            Frame::End { .. } => Err(ServeError::UnexpectedFrame {
+                expected: "header frame",
+                got: tag::END,
+            }),
+        }
+    }
+
+    /// The stream header, once [`Client::subscribe`] has succeeded.
+    #[must_use]
+    pub fn header(&self) -> Option<StreamHeader> {
+        self.header
+    }
+
+    /// Reads the next frame and decodes it into `block`.
+    ///
+    /// Returns `Ok(Some(index))` for a block frame (with `block` holding
+    /// its samples bit-exactly), `Ok(None)` on the clean end-of-stream
+    /// frame. After warm-up, a block-frame read performs zero heap
+    /// allocation: the frame buffer and `block` both reuse their capacity.
+    ///
+    /// # Errors
+    /// [`ServeError::Server`] for a mid-stream error frame (e.g. server
+    /// shutdown), [`ServeError::Protocol`] for malformed bytes,
+    /// [`ServeError::Io`] for transport failures, and
+    /// [`ServeError::UnexpectedFrame`] if the server violates frame order.
+    pub fn next_block_into(&mut self, block: &mut SampleBlock) -> Result<Option<u32>, ServeError> {
+        let Some(header) = self.header else {
+            return Err(ServeError::UnexpectedFrame {
+                expected: "subscribe() before next_block_into()",
+                got: 0,
+            });
+        };
+        let payload = read_frame(&mut self.conn, &mut self.frame, "block stream")?;
+        match payload.first().copied() {
+            Some(tag::BLOCK) => {
+                let (index, bytes) = decode_block_payload(payload)?;
+                block
+                    .decode_le_from(header.envelopes as usize, header.samples as usize, bytes)
+                    .map_err(|e| {
+                        ServeError::Protocol(ProtocolError::FrameSizeMismatch {
+                            what: "block",
+                            expected: e.expected,
+                            got: e.got,
+                        })
+                    })?;
+                Ok(Some(index))
+            }
+            Some(tag::END) => match decode_frame_payload(payload)? {
+                Frame::End { .. } => Ok(None),
+                _ => unreachable!("tag::END decodes to Frame::End or errors"),
+            },
+            _ => match decode_frame_payload(payload)? {
+                Frame::Error { code, message } => Err(ServeError::Server { code, message }),
+                Frame::Header { .. } => Err(ServeError::UnexpectedFrame {
+                    expected: "block or end frame",
+                    got: tag::HEADER,
+                }),
+                _ => unreachable!("block/end tags handled above"),
+            },
+        }
+    }
+
+    /// Reads the whole stream into freshly allocated blocks — the
+    /// convenience path for tests and small transfers; hot paths should
+    /// loop [`Client::next_block_into`] over one pooled block instead.
+    ///
+    /// # Errors
+    /// Any error [`Client::next_block_into`] can produce.
+    pub fn collect_blocks(&mut self) -> Result<Vec<SampleBlock>, ServeError> {
+        let mut blocks = Vec::new();
+        loop {
+            let mut block = SampleBlock::empty();
+            match self.next_block_into(&mut block)? {
+                Some(_) => blocks.push(block),
+                None => return Ok(blocks),
+            }
+        }
+    }
+}
+
+/// Reads one length-prefixed frame into `frame` (reusing its capacity) and
+/// returns the payload slice.
+fn read_frame<'a>(
+    conn: &mut Conn,
+    frame: &'a mut Vec<u8>,
+    during: &'static str,
+) -> Result<&'a [u8], ServeError> {
+    let mut prefix = [0u8; 4];
+    read_exact_or_closed(conn, &mut prefix, during)?;
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len == 0 {
+        return Err(ServeError::Protocol(ProtocolError::FrameSizeMismatch {
+            what: "frame",
+            expected: 1,
+            got: 0,
+        }));
+    }
+    if len > MAX_FRAME_LEN {
+        return Err(ServeError::Protocol(ProtocolError::Oversized {
+            what: "frame payload",
+            len,
+            max: MAX_FRAME_LEN,
+        }));
+    }
+    frame.clear();
+    frame.resize(len, 0);
+    read_exact_or_closed(conn, frame, during)?;
+    Ok(frame)
+}
+
+/// `read_exact` that maps a clean EOF to [`ServeError::ConnectionClosed`].
+fn read_exact_or_closed(
+    conn: &mut Conn,
+    buf: &mut [u8],
+    during: &'static str,
+) -> Result<(), ServeError> {
+    conn.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            ServeError::ConnectionClosed { during }
+        } else {
+            ServeError::Io(e)
+        }
+    })
+}

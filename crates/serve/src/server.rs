@@ -1,0 +1,468 @@
+//! The channel-as-a-service server: accepts TCP/Unix-socket connections,
+//! resolves each request against the scenario registry, and streams
+//! length-prefixed [`SampleBlock`](corrfade::SampleBlock)-framed Doppler
+//! blocks from a shared [`StreamFleet`].
+//!
+//! ## Threading model
+//!
+//! One accept thread plus one thread per live connection. Every connection
+//! subscribes its `(scenario, seed)` stream into the shared fleet (behind
+//! an `RwLock`: subscribe/unsubscribe take the write lock for microseconds,
+//! block generation takes read locks, so connections generate
+//! concurrently), owns **one pooled block** inside its fleet slot and one
+//! pooled wire buffer — after the first block, a connection's steady state
+//! performs **zero heap allocation** (encode into the warm buffer, generate
+//! into the pooled block, `write_all` to the socket; the workspace
+//! allocation-regression test measures this through a real socket).
+//!
+//! ## Failure behavior
+//!
+//! * Malformed requests, unknown scenarios (with a did-you-mean
+//!   suggestion), version mismatches and build failures are answered with a
+//!   typed **error frame** before the connection closes — never a silent
+//!   drop.
+//! * A client that disappears mid-stream only tears down its own
+//!   subscription; the fleet and every other connection are untouched.
+//! * [`Server::shutdown`] stops accepting, interrupts every in-flight
+//!   connection (streams are shut down, so blocked reads/writes return
+//!   immediately), joins all threads, and removes the Unix socket file.
+//!   In-flight streams end with a `SERVER_SHUTDOWN` error frame when their
+//!   socket is still writable.
+
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use corrfade_parallel::{StreamFleet, StreamKey};
+use corrfade_scenarios::{lookup, ScenarioError};
+
+use crate::error::ServeError;
+use crate::net::{Conn, Listener, ServeAddr};
+use crate::protocol::{
+    decode_request_header, decode_request_name, encode_block_frame, encode_end_frame,
+    encode_error_frame, encode_header_frame, ProtocolError, Request, REQUEST_HEADER_LEN,
+};
+
+/// Server tuning knobs. `Default` suits tests and local use.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Longest the server waits for a client's request bytes before giving
+    /// the connection up.
+    pub read_timeout: Duration,
+    /// Longest one frame write may block on a slow consumer.
+    pub write_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Monotonic counters the lifecycle tests and operators read; all relaxed,
+/// all cheap.
+#[derive(Debug, Default)]
+struct Counters {
+    accepted: AtomicU64,
+    active: AtomicU64,
+    blocks_sent: AtomicU64,
+    error_frames: AtomicU64,
+}
+
+/// A point-in-time snapshot of the server's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted since bind.
+    pub accepted: u64,
+    /// Connections currently being served.
+    pub active: u64,
+    /// Block frames written since bind.
+    pub blocks_sent: u64,
+    /// Error frames written since bind.
+    pub error_frames: u64,
+    /// Live fleet subscriptions (one per streaming connection).
+    pub subscribers: usize,
+}
+
+/// State shared between the accept thread, the connection threads and the
+/// owning [`Server`] handle.
+struct Shared {
+    fleet: RwLock<StreamFleet>,
+    config: ServerConfig,
+    shutting_down: AtomicBool,
+    counters: Counters,
+}
+
+impl Shared {
+    fn fleet_read(&self) -> std::sync::RwLockReadGuard<'_, StreamFleet> {
+        self.fleet.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn fleet_write(&self) -> std::sync::RwLockWriteGuard<'_, StreamFleet> {
+        self.fleet.write().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Join handle + socket handle of one spawned connection thread; the socket
+/// handle lets shutdown interrupt a blocked read/write.
+struct ConnEntry {
+    join: JoinHandle<()>,
+    socket: Option<Conn>,
+}
+
+/// A running channel-as-a-service server. See the [module docs](self).
+///
+/// Dropping the server performs a full [`Server::shutdown`].
+///
+/// # Examples
+///
+/// ```
+/// use corrfade_serve::{Client, ServeAddr, Server, ServerConfig};
+///
+/// let server = Server::bind(
+///     ServeAddr::Tcp("127.0.0.1:0".parse().unwrap()),
+///     ServerConfig::default(),
+/// )
+/// .unwrap();
+///
+/// let mut client = Client::connect(server.local_addr()).unwrap();
+/// let header = client.subscribe("two-envelope-complex", 7, 2).unwrap();
+/// assert_eq!(header.envelopes, 2);
+///
+/// let mut block = corrfade::SampleBlock::empty();
+/// let mut received = 0;
+/// while client.next_block_into(&mut block).unwrap().is_some() {
+///     received += 1;
+/// }
+/// assert_eq!(received, 2);
+/// server.shutdown().unwrap();
+/// ```
+pub struct Server {
+    shared: Arc<Shared>,
+    connections: Arc<Mutex<Vec<ConnEntry>>>,
+    accept: Option<JoinHandle<()>>,
+    local_addr: ServeAddr,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("local_addr", &self.local_addr)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Binds `addr` and starts accepting connections on a background
+    /// thread. TCP port `0` picks an ephemeral port —
+    /// [`Server::local_addr`] reports the bound one.
+    ///
+    /// # Errors
+    /// [`ServeError::Io`] when the address cannot be bound.
+    pub fn bind(addr: ServeAddr, config: ServerConfig) -> Result<Self, ServeError> {
+        let (listener, local_addr) = Listener::bind(&addr)?;
+        let shared = Arc::new(Shared {
+            fleet: RwLock::new(StreamFleet::open(&[], 0).expect("an empty fleet always opens")),
+            config,
+            shutting_down: AtomicBool::new(false),
+            counters: Counters::default(),
+        });
+        let connections = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let connections = Arc::clone(&connections);
+            std::thread::Builder::new()
+                .name("corrfade-serve-accept".into())
+                .spawn(move || accept_loop(&listener, &shared, &connections))
+                .map_err(ServeError::Io)?
+        };
+        Ok(Self {
+            shared,
+            connections,
+            accept: Some(accept),
+            local_addr,
+        })
+    }
+
+    /// The address the server actually listens on (TCP port resolved).
+    #[must_use]
+    pub fn local_addr(&self) -> &ServeAddr {
+        &self.local_addr
+    }
+
+    /// A snapshot of the serving counters.
+    #[must_use]
+    pub fn stats(&self) -> ServerStats {
+        let c = &self.shared.counters;
+        ServerStats {
+            accepted: c.accepted.load(Ordering::Relaxed),
+            active: c.active.load(Ordering::Relaxed),
+            blocks_sent: c.blocks_sent.load(Ordering::Relaxed),
+            error_frames: c.error_frames.load(Ordering::Relaxed),
+            subscribers: self.shared.fleet_read().subscriber_count(),
+        }
+    }
+
+    /// Stops accepting, interrupts and joins every connection thread, joins
+    /// the accept thread, and removes the Unix socket file. Idempotent with
+    /// [`Drop`] (which performs the same teardown).
+    ///
+    /// # Errors
+    /// [`ServeError::Io`] when the accept thread cannot be woken; join
+    /// panics are propagated.
+    pub fn shutdown(mut self) -> Result<(), ServeError> {
+        self.shutdown_in_place()
+    }
+
+    fn shutdown_in_place(&mut self) -> Result<(), ServeError> {
+        let Some(accept) = self.accept.take() else {
+            return Ok(());
+        };
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        // The accept thread sits in a blocking accept(); a throwaway
+        // connection wakes it so it can observe the flag. Failure is fine
+        // when it already exited (e.g. listener error path).
+        let _ = Conn::connect(&self.local_addr, Duration::from_secs(1));
+        accept.join().expect("accept thread panicked");
+
+        // Interrupt every connection thread still blocked on its socket,
+        // then join them all.
+        let mut entries = self
+            .connections
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        for entry in entries.iter() {
+            if let Some(socket) = &entry.socket {
+                socket.shutdown_both();
+            }
+        }
+        for entry in entries.drain(..) {
+            let _ = entry.join.join();
+        }
+        drop(entries);
+
+        #[cfg(unix)]
+        if let ServeAddr::Unix(path) = &self.local_addr {
+            let _ = std::fs::remove_file(path);
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.shutdown_in_place();
+    }
+}
+
+/// Accepts until shutdown; each connection gets its own thread and a
+/// registry entry so shutdown can interrupt and join it.
+fn accept_loop(listener: &Listener, shared: &Arc<Shared>, connections: &Mutex<Vec<ConnEntry>>) {
+    loop {
+        let conn = match listener.accept() {
+            Ok(conn) => conn,
+            Err(_) if shared.shutting_down.load(Ordering::SeqCst) => return,
+            Err(_) => {
+                // Transient accept failure (EMFILE, aborted handshake…):
+                // back off briefly instead of spinning.
+                std::thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+        };
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            // The shutdown wake-up connection (or a late real client):
+            // close it and stop accepting.
+            return;
+        }
+        shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
+        let socket = conn.try_clone().ok();
+        let handle = {
+            let shared = Arc::clone(shared);
+            std::thread::Builder::new()
+                .name("corrfade-serve-conn".into())
+                .spawn(move || serve_connection(&shared, conn))
+        };
+        let Ok(join) = handle else {
+            // Thread spawn failed (resource exhaustion): drop the
+            // connection; the client sees a clean close.
+            continue;
+        };
+        let mut entries = connections.lock().unwrap_or_else(PoisonError::into_inner);
+        // Reap finished threads so the registry tracks the concurrency
+        // high-water mark, not the all-time connection count.
+        entries.retain(|e| !e.join.is_finished());
+        entries.push(ConnEntry { join, socket });
+    }
+}
+
+/// RAII guard for the active-connections gauge.
+struct ActiveGuard<'a>(&'a Counters);
+
+impl<'a> ActiveGuard<'a> {
+    fn new(counters: &'a Counters) -> Self {
+        counters.active.fetch_add(1, Ordering::Relaxed);
+        Self(counters)
+    }
+}
+
+impl Drop for ActiveGuard<'_> {
+    fn drop(&mut self) {
+        self.0.active.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Reads the fixed-size request header and the scenario name.
+fn read_request(conn: &mut Conn, wire: &mut Vec<u8>) -> Result<Request, ServeError> {
+    let mut header = [0u8; REQUEST_HEADER_LEN];
+    conn.read_exact(&mut header)?;
+    let (seed, blocks, name_len) = decode_request_header(&header)?;
+    wire.clear();
+    wire.resize(name_len, 0);
+    conn.read_exact(wire)?;
+    let scenario = decode_request_name(wire)?.to_string();
+    Ok(Request {
+        scenario,
+        seed,
+        blocks,
+    })
+}
+
+/// Sends `error` as a typed error frame, counting it; write failures are
+/// ignored (the peer may already be gone). The connection closes after an
+/// error frame, so this also performs the graceful close sequence: without
+/// it, unread request bytes in the TCP receive queue would turn the close
+/// into a reset that can discard the error frame before the client reads
+/// it. Write side first (the client sees the frame then end-of-stream),
+/// then a bounded drain of whatever the client had in flight.
+fn send_error_frame(conn: &mut Conn, wire: &mut Vec<u8>, shared: &Shared, error: &ProtocolError) {
+    shared.counters.error_frames.fetch_add(1, Ordering::Relaxed);
+    wire.clear();
+    encode_error_frame(wire, error);
+    let _ = conn.write_all(wire);
+    conn.shutdown_write();
+    let _ = conn.set_timeouts(Some(Duration::from_millis(250)), None);
+    let mut scratch = [0u8; 256];
+    // Bounded (16 KiB / 250 ms per read): a peer cannot pin the thread.
+    for _ in 0..64 {
+        match conn.read(&mut scratch) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+}
+
+/// Drives one connection from request to end frame. Every exit path either
+/// sent an error frame or finished the stream; the fleet subscription is
+/// always released.
+fn serve_connection(shared: &Shared, mut conn: Conn) {
+    let _active = ActiveGuard::new(&shared.counters);
+    if conn
+        .set_timeouts(
+            Some(shared.config.read_timeout),
+            Some(shared.config.write_timeout),
+        )
+        .is_err()
+    {
+        return;
+    }
+
+    // The one wire buffer of this connection: request name, then every
+    // frame it ever sends — steady-state writes reuse its capacity.
+    let mut wire: Vec<u8> = Vec::new();
+
+    let request = match read_request(&mut conn, &mut wire) {
+        Ok(request) => request,
+        Err(ServeError::Protocol(e)) => {
+            send_error_frame(&mut conn, &mut wire, shared, &e);
+            return;
+        }
+        // Closed or timed-out before a full request: nothing to answer.
+        Err(_) => return,
+    };
+
+    let scenario = match lookup(&request.scenario) {
+        Ok(scenario) => scenario,
+        Err(ScenarioError::UnknownScenario { name, suggestion }) => {
+            let e = ProtocolError::UnknownScenario {
+                name,
+                suggestion: suggestion.map(str::to_string),
+            };
+            send_error_frame(&mut conn, &mut wire, shared, &e);
+            return;
+        }
+        Err(other) => {
+            let e = ProtocolError::ScenarioRejected {
+                message: other.to_string(),
+            };
+            send_error_frame(&mut conn, &mut wire, shared, &e);
+            return;
+        }
+    };
+
+    let key = match shared.fleet_write().subscribe(scenario, request.seed) {
+        Ok(key) => key,
+        Err(e) => {
+            let e = ProtocolError::ScenarioRejected {
+                message: e.to_string(),
+            };
+            send_error_frame(&mut conn, &mut wire, shared, &e);
+            return;
+        }
+    };
+
+    stream_blocks(shared, &mut conn, &mut wire, key, scenario, &request);
+    shared.fleet_write().unsubscribe(key);
+}
+
+/// Header + blocks + end. Split out so `serve_connection` can guarantee the
+/// unsubscribe on every path.
+fn stream_blocks(
+    shared: &Shared,
+    conn: &mut Conn,
+    wire: &mut Vec<u8>,
+    key: StreamKey,
+    scenario: &corrfade_scenarios::Scenario,
+    request: &Request,
+) {
+    let envelopes = u32::try_from(scenario.envelopes).unwrap_or(u32::MAX);
+    let samples = u32::try_from(scenario.doppler.idft_size).unwrap_or(u32::MAX);
+    wire.clear();
+    encode_header_frame(wire, envelopes, samples, request.blocks);
+    if conn.write_all(wire).is_err() {
+        return;
+    }
+
+    let mut sent = 0u32;
+    while sent < request.blocks {
+        if shared.shutting_down.load(Ordering::Relaxed) {
+            send_error_frame(conn, wire, shared, &ProtocolError::ServerShutdown);
+            return;
+        }
+        let index = sent;
+        let encoded = shared.fleet_read().advance_subscriber_with(key, |block| {
+            wire.clear();
+            encode_block_frame(wire, index, block);
+        });
+        if encoded.is_err() {
+            // Stale key mid-stream can only mean shutdown raced us.
+            send_error_frame(conn, wire, shared, &ProtocolError::ServerShutdown);
+            return;
+        }
+        if conn.write_all(wire).is_err() {
+            // Client went away; its subscription is released by the caller.
+            return;
+        }
+        shared.counters.blocks_sent.fetch_add(1, Ordering::Relaxed);
+        sent += 1;
+    }
+
+    wire.clear();
+    encode_end_frame(wire, sent);
+    let _ = conn.write_all(wire);
+}

@@ -1,0 +1,155 @@
+//! Property tests of the `corrfade-serve` wire protocol.
+//!
+//! Two families:
+//!
+//! 1. **Round trips** — every frame type and every request survives
+//!    encode → split → decode bit-exactly.
+//! 2. **Adversarial decoding** — random, truncated, corrupted and
+//!    oversized byte strings never panic any decoder: every outcome is
+//!    `Ok` or a typed [`ProtocolError`].
+
+use proptest::prelude::*;
+
+use corrfade_serve::protocol::{
+    decode_block_payload, decode_frame_payload, decode_request, encode_frame, encode_request,
+    split_frame, Frame, Request, MAX_NAME_LEN,
+};
+
+/// Maps arbitrary bytes onto printable ASCII so generated strings are
+/// always valid UTF-8 (the shim has no string strategies).
+fn ascii(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| (b' ' + b % 95) as char).collect()
+}
+
+/// Builds one of the four frame variants from undifferentiated randomness.
+fn frame_from_parts(kind: u8, a: u32, b: u32, c: u32, bytes: Vec<u8>) -> Frame {
+    match kind {
+        0 => Frame::Header {
+            envelopes: a,
+            samples: b,
+            blocks: c,
+        },
+        1 => Frame::Block {
+            index: a,
+            payload: bytes,
+        },
+        2 => Frame::Error {
+            code: a as u16,
+            message: ascii(&bytes),
+        },
+        _ => Frame::End { blocks_sent: a },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Every frame type round-trips through the wire encoding exactly,
+    /// and `split_frame` consumes precisely the bytes that were written.
+    #[test]
+    fn frames_round_trip(
+        kind in 0u8..4,
+        a in 0u32..=u32::MAX,
+        b in 0u32..=u32::MAX,
+        c in 0u32..=u32::MAX,
+        bytes in proptest::collection::vec(0u8..=255, 0..256),
+    ) {
+        let frame = frame_from_parts(kind, a, b, c, bytes);
+        let mut wire = Vec::new();
+        encode_frame(&frame, &mut wire);
+        let (payload, consumed) = split_frame(&wire).unwrap();
+        prop_assert_eq!(consumed, wire.len());
+        let decoded = decode_frame_payload(payload).unwrap();
+        prop_assert_eq!(decoded, frame);
+    }
+
+    /// Block payload bytes come back bit-for-bit through the zero-copy
+    /// decoder, regardless of content (including NaN-patterned bytes).
+    #[test]
+    fn block_payloads_are_bit_exact(
+        index in 0u32..=u32::MAX,
+        bytes in proptest::collection::vec(0u8..=255, 0..512),
+    ) {
+        let frame = Frame::Block { index, payload: bytes.clone() };
+        let mut wire = Vec::new();
+        encode_frame(&frame, &mut wire);
+        let (payload, _) = split_frame(&wire).unwrap();
+        let (got_index, got_bytes) = decode_block_payload(payload).unwrap();
+        prop_assert_eq!(got_index, index);
+        prop_assert_eq!(got_bytes, &bytes[..]);
+    }
+
+    /// Requests round-trip for every legal scenario-name length.
+    #[test]
+    fn requests_round_trip(
+        name_bytes in proptest::collection::vec(0u8..=255, 1..=MAX_NAME_LEN),
+        seed in 0u64..=u64::MAX,
+        blocks in 0u32..=u32::MAX,
+    ) {
+        let request = Request { scenario: ascii(&name_bytes), seed, blocks };
+        let mut wire = Vec::new();
+        encode_request(&request, &mut wire);
+        prop_assert_eq!(decode_request(&wire).unwrap(), request);
+    }
+
+    /// Arbitrary garbage never panics any decoder.
+    #[test]
+    fn random_bytes_never_panic_decoders(
+        raw in proptest::collection::vec(0u8..=255, 0..128),
+    ) {
+        let _ = decode_request(&raw);
+        let _ = decode_frame_payload(&raw);
+        let _ = decode_block_payload(&raw);
+        if let Ok((payload, consumed)) = split_frame(&raw) {
+            prop_assert!(consumed <= raw.len());
+            let _ = decode_frame_payload(payload);
+        }
+    }
+
+    /// A declared length prefix pointing anywhere — zero, beyond the
+    /// buffer, beyond `MAX_FRAME_LEN` — yields a typed error or a
+    /// payload decode, never a panic or out-of-bounds read.
+    #[test]
+    fn hostile_length_prefixes_never_panic(
+        declared in 0u32..=u32::MAX,
+        raw in proptest::collection::vec(0u8..=255, 0..64),
+    ) {
+        let mut wire = declared.to_le_bytes().to_vec();
+        wire.extend_from_slice(&raw);
+        if let Ok((payload, consumed)) = split_frame(&wire) {
+            prop_assert_eq!(consumed, 4 + payload.len());
+            prop_assert!(consumed <= wire.len());
+            let _ = decode_frame_payload(payload);
+        }
+    }
+
+    /// Truncating or corrupting a valid frame never panics: truncation of
+    /// the prefix or payload is a typed error; a flipped byte decodes to
+    /// `Ok` or a typed error.
+    #[test]
+    fn mutated_valid_frames_never_panic(
+        kind in 0u8..4,
+        a in 0u32..=u32::MAX,
+        bytes in proptest::collection::vec(0u8..=255, 0..64),
+        cut in 0usize..=usize::MAX,
+        flip_at in 0usize..=usize::MAX,
+        flip_bits in 1u8..=255,
+    ) {
+        let frame = frame_from_parts(kind, a, a ^ 0x5555_5555, !a, bytes);
+        let mut wire = Vec::new();
+        encode_frame(&frame, &mut wire);
+
+        // Truncation at every possible cut point.
+        let truncated = &wire[..cut % wire.len()];
+        if let Ok((payload, _)) = split_frame(truncated) {
+            let _ = decode_frame_payload(payload);
+        }
+
+        // Single corrupted byte (never a no-op flip).
+        let at = flip_at % wire.len();
+        wire[at] ^= flip_bits;
+        if let Ok((payload, _)) = split_frame(&wire) {
+            let _ = decode_frame_payload(payload);
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Server lifecycle tests: concurrent independent clients, mid-stream
+//! disconnects, protocol-error frames, and graceful shutdown.
+//!
+//! These exercise the thread-per-connection server end to end over real
+//! sockets (TCP on a loopback ephemeral port; the Unix transport is
+//! covered by the workspace `wire_equivalence` suite and the CI smoke
+//! job).
+
+use std::io::{Read, Write};
+use std::time::{Duration, Instant};
+
+use corrfade::{ChannelStream, SampleBlock};
+use corrfade_scenarios::lookup;
+use corrfade_serve::protocol::{
+    code, decode_frame_payload, encode_request, split_frame, Frame, Request, MAGIC,
+};
+use corrfade_serve::{Client, Conn, ServeAddr, ServeError, Server, ServerConfig};
+
+fn tcp_server() -> Server {
+    Server::bind(
+        ServeAddr::Tcp("127.0.0.1:0".parse().unwrap()),
+        ServerConfig::default(),
+    )
+    .expect("binding an ephemeral loopback port")
+}
+
+/// Bit pattern of a block, for exact comparisons.
+fn bits(block: &SampleBlock) -> Vec<u64> {
+    block
+        .as_slice()
+        .iter()
+        .flat_map(|z| [z.re.to_bits(), z.im.to_bits()])
+        .collect()
+}
+
+/// Streams `blocks` blocks of `scenario` standalone, as bit patterns.
+fn standalone(scenario: &str, seed: u64, blocks: u32) -> Vec<Vec<u64>> {
+    let mut stream = lookup(scenario).unwrap().build_realtime(seed).unwrap();
+    let mut block = SampleBlock::empty();
+    (0..blocks)
+        .map(|_| {
+            stream.next_block_into(&mut block).unwrap();
+            bits(&block)
+        })
+        .collect()
+}
+
+/// Polls `f` until it returns true or the deadline expires.
+fn wait_until(what: &str, mut f: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !f() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+#[test]
+fn concurrent_clients_get_independent_deterministic_streams() {
+    let server = tcp_server();
+    let addr = server.local_addr().clone();
+
+    // Two clients per (scenario, seed) pair: same pair → identical bytes;
+    // the pairs differ from each other. All six run concurrently.
+    let jobs: Vec<(&str, u64)> = vec![
+        ("two-envelope-complex", 11),
+        ("two-envelope-complex", 11),
+        ("two-envelope-complex", 12),
+        ("fig4a-spectral", 11),
+        ("fig4a-spectral", 77),
+        ("fig4b-spatial", 11),
+    ];
+    let handles: Vec<_> = jobs
+        .iter()
+        .map(|&(scenario, seed)| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).unwrap();
+                client.subscribe(scenario, seed, 3).unwrap();
+                let streamed: Vec<Vec<u64>> =
+                    client.collect_blocks().unwrap().iter().map(bits).collect();
+                (scenario, seed, streamed)
+            })
+        })
+        .collect();
+    let results: Vec<_> = handles
+        .into_iter()
+        .map(|h| h.join().expect("client thread panicked"))
+        .collect();
+
+    for (scenario, seed, streamed) in &results {
+        assert_eq!(
+            *streamed,
+            standalone(scenario, *seed, 3),
+            "stream ({scenario}, seed {seed}) is not bit-identical to standalone"
+        );
+    }
+    // Duplicated pair agrees; distinct seeds diverge.
+    assert_eq!(results[0].2, results[1].2);
+    assert_ne!(results[1].2, results[2].2);
+
+    // Every subscription was released.
+    wait_until("all subscriptions released", || {
+        server.stats().subscribers == 0
+    });
+    let stats = server.stats();
+    assert_eq!(stats.accepted, 6);
+    assert_eq!(stats.blocks_sent, 18);
+    assert_eq!(stats.error_frames, 0);
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn mid_stream_disconnect_does_not_poison_the_fleet() {
+    let server = tcp_server();
+    let addr = server.local_addr().clone();
+
+    // A client asks for a long stream, reads one block, and vanishes.
+    {
+        let mut client = Client::connect(&addr).unwrap();
+        client.subscribe("two-envelope-complex", 5, 10_000).unwrap();
+        let mut block = SampleBlock::empty();
+        assert_eq!(client.next_block_into(&mut block).unwrap(), Some(0));
+        // Dropped here: the connection closes with the server mid-stream.
+    }
+
+    // The server notices the broken pipe and releases the subscription.
+    wait_until("disconnect cleanup", || server.stats().subscribers == 0);
+
+    // The fleet still serves new clients, bit-identically — including the
+    // exact (scenario, seed) the dropped client was using.
+    let mut client = Client::connect(&addr).unwrap();
+    client.subscribe("two-envelope-complex", 5, 2).unwrap();
+    let streamed: Vec<Vec<u64>> = client.collect_blocks().unwrap().iter().map(bits).collect();
+    assert_eq!(streamed, standalone("two-envelope-complex", 5, 2));
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn protocol_errors_arrive_as_typed_frames() {
+    let server = tcp_server();
+    let addr = server.local_addr().clone();
+
+    // Unknown scenario: typed code plus a did-you-mean suggestion.
+    let mut client = Client::connect(&addr).unwrap();
+    let err = client.subscribe("fig4a-spektral", 1, 1).unwrap_err();
+    let ServeError::Server { code: c, message } = err else {
+        panic!("expected a server error frame, got {err}");
+    };
+    assert_eq!(c, code::UNKNOWN_SCENARIO);
+    assert!(
+        message.contains("did you mean `fig4a-spectral`"),
+        "suggestion missing from: {message}"
+    );
+
+    // Version mismatch, sent as raw bytes to control the header exactly.
+    let mut request = Vec::new();
+    encode_request(
+        &Request {
+            scenario: "two-envelope-complex".into(),
+            seed: 1,
+            blocks: 1,
+        },
+        &mut request,
+    );
+    request[4] = 0xFE; // version := 0xFFFE
+    request[5] = 0xFF;
+    let mut raw = Conn::connect(&addr, Duration::from_secs(10)).unwrap();
+    raw.write_all(&request).unwrap();
+    let mut response = Vec::new();
+    raw.read_to_end(&mut response).unwrap();
+    let (payload, _) = split_frame(&response).unwrap();
+    let Frame::Error { code: c, .. } = decode_frame_payload(payload).unwrap() else {
+        panic!("expected an error frame");
+    };
+    assert_eq!(c, code::UNSUPPORTED_VERSION);
+
+    // Bad magic.
+    let mut bad_magic = request.clone();
+    bad_magic[..4].copy_from_slice(b"XXXX");
+    assert_ne!(&bad_magic[..4], &MAGIC);
+    let mut raw = Conn::connect(&addr, Duration::from_secs(10)).unwrap();
+    raw.write_all(&bad_magic).unwrap();
+    let mut response = Vec::new();
+    raw.read_to_end(&mut response).unwrap();
+    let (payload, _) = split_frame(&response).unwrap();
+    let Frame::Error { code: c, .. } = decode_frame_payload(payload).unwrap() else {
+        panic!("expected an error frame");
+    };
+    assert_eq!(c, code::BAD_MAGIC);
+
+    // Each rejected request was counted, and none left a subscription.
+    wait_until("error-frame counters", || server.stats().error_frames == 3);
+    assert_eq!(server.stats().subscribers, 0);
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn shutdown_joins_all_connection_threads_and_stops_streams() {
+    let server = tcp_server();
+    let addr = server.local_addr().clone();
+
+    // Three clients in the middle of very long streams.
+    let clients: Vec<_> = (0..3)
+        .map(|i| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).unwrap();
+                client
+                    .subscribe("two-envelope-complex", 100 + i, u32::MAX)
+                    .unwrap();
+                let mut block = SampleBlock::empty();
+                let mut received = 0u64;
+                loop {
+                    match client.next_block_into(&mut block) {
+                        Ok(Some(_)) => received += 1,
+                        // The stream must terminate (shutdown frame, reset,
+                        // or close) — never hang and never end cleanly,
+                        // since u32::MAX blocks were requested.
+                        Ok(None) => panic!("stream ended cleanly during shutdown"),
+                        Err(e) => {
+                            if let ServeError::Server { code: c, .. } = &e {
+                                assert_eq!(*c, code::SERVER_SHUTDOWN);
+                            }
+                            return received;
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    wait_until("all three streams active", || {
+        server.stats().subscribers == 3
+    });
+
+    // shutdown() blocks until the accept thread and every connection
+    // thread have been joined — when it returns, nothing is left running.
+    server.shutdown().unwrap();
+
+    for handle in clients {
+        handle.join().expect("client thread panicked");
+    }
+
+    // The listener is gone: new connections are refused.
+    assert!(Conn::connect(&addr, Duration::from_millis(500)).is_err());
+}

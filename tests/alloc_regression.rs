@@ -141,4 +141,42 @@ fn next_block_into_is_allocation_free_after_warmup() {
         delta, 0,
         "StreamFleet::advance allocated {delta} time(s) after warm-up"
     );
+
+    // The serving layer, end to end through a real Unix-domain socket: a
+    // warm server connection's steady state — `advance_subscriber_with` on
+    // the shared fleet, block-frame encode into the pooled wire buffer,
+    // `write_all`, plus the client's frame read and planar decode into its
+    // pooled block — must not allocate either. The warm-up covers the
+    // handshake, the capacity growth of both pooled buffers, and the
+    // generator scratch; the measured window then spans whole
+    // produce-transmit-consume round trips. (The server's accept thread is
+    // parked in `accept()` and the connection thread only runs the code
+    // under test, so no other thread can pollute the counter.)
+    #[cfg(unix)]
+    {
+        let path = std::env::temp_dir().join(format!(
+            "corrfade-alloc-regression-{}.sock",
+            std::process::id()
+        ));
+        let server = corrfade_serve::Server::bind(
+            corrfade_serve::ServeAddr::Unix(path),
+            corrfade_serve::ServerConfig::default(),
+        )
+        .unwrap();
+        let mut client = corrfade_serve::Client::connect(server.local_addr()).unwrap();
+        client.subscribe("two-envelope-complex", 1, 32).unwrap();
+        for _ in 0..4 {
+            client.next_block_into(&mut block).unwrap().unwrap();
+        }
+        let before = allocations();
+        for _ in 0..8 {
+            client.next_block_into(&mut block).unwrap().unwrap();
+        }
+        let delta = allocations() - before;
+        assert_eq!(
+            delta, 0,
+            "a warm serve connection allocated {delta} time(s) in steady state"
+        );
+        server.shutdown().unwrap();
+    }
 }

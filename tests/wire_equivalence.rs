@@ -1,0 +1,117 @@
+//! Wire-equivalence regression tests: blocks delivered by `corrfade-serve`
+//! over a real socket must be **bit-identical** (`f64::to_bits`) to the
+//! blocks a standalone `Scenario::build_realtime(seed)` stream produces —
+//! across scenarios, seeds, and both transports (TCP and Unix-domain).
+//!
+//! This is the protocol-level counterpart of `fleet_equivalence.rs`: that
+//! suite pins the in-process fleet, this one pins encode → socket →
+//! decode on top of it. Together they guarantee a remote consumer of the
+//! serving layer reproduces the paper's generator exactly.
+
+use corrfade::{ChannelStream, SampleBlock};
+use corrfade_scenarios::lookup;
+use corrfade_serve::{Client, ServeAddr, Server, ServerConfig};
+
+/// Scenario spread: both paper figures, the complex-covariance extension
+/// and the near-singular stress case — different envelope counts and
+/// covariance families.
+const SCENARIOS: [&str; 4] = [
+    "fig4a-spectral",
+    "fig4b-spatial",
+    "two-envelope-complex",
+    "near-singular-eps1e6",
+];
+
+const SEEDS: [u64; 3] = [1, 42, 0xDEAD_BEEF];
+const BLOCKS: u32 = 3;
+
+/// The bit pattern of every sample of a block, in planar order.
+fn bits(block: &SampleBlock) -> Vec<u64> {
+    block
+        .as_slice()
+        .iter()
+        .flat_map(|z| [z.re.to_bits(), z.im.to_bits()])
+        .collect()
+}
+
+/// Streams `BLOCKS` blocks standalone — the ground truth.
+fn standalone(scenario: &str, seed: u64) -> Vec<Vec<u64>> {
+    let mut stream = lookup(scenario).unwrap().build_realtime(seed).unwrap();
+    let mut block = SampleBlock::empty();
+    (0..BLOCKS)
+        .map(|_| {
+            stream.next_block_into(&mut block).unwrap();
+            bits(&block)
+        })
+        .collect()
+}
+
+/// Streams `BLOCKS` blocks through a live server connection, checking the
+/// header echo and decoding into one pooled block like a real consumer.
+fn over_the_wire(addr: &ServeAddr, scenario: &str, seed: u64) -> Vec<Vec<u64>> {
+    let reference = lookup(scenario).unwrap();
+    let mut client = Client::connect(addr).unwrap();
+    let header = client.subscribe(scenario, seed, BLOCKS).unwrap();
+    assert_eq!(header.envelopes as usize, reference.envelopes);
+    assert_eq!(header.samples as usize, reference.doppler.idft_size);
+    assert_eq!(header.blocks, BLOCKS);
+
+    let mut block = SampleBlock::empty();
+    let mut streamed = Vec::new();
+    while let Some(index) = client.next_block_into(&mut block).unwrap() {
+        assert_eq!(
+            index as usize,
+            streamed.len(),
+            "blocks arrived out of order"
+        );
+        assert_eq!(block.envelopes(), reference.envelopes);
+        assert_eq!(block.samples(), reference.doppler.idft_size);
+        streamed.push(bits(&block));
+    }
+    streamed
+}
+
+fn assert_equivalent(addr: &ServeAddr, transport: &str) {
+    for scenario in SCENARIOS {
+        for seed in SEEDS {
+            assert_eq!(
+                over_the_wire(addr, scenario, seed),
+                standalone(scenario, seed),
+                "({scenario}, seed {seed}) over {transport} is not bit-identical \
+                 to the standalone stream"
+            );
+        }
+    }
+}
+
+#[test]
+fn socket_streams_are_bit_identical_to_standalone_streams() {
+    // One server instance serves every (scenario, seed) combination in
+    // sequence — a fresh subscription each time, like real clients.
+    let tcp = Server::bind(
+        ServeAddr::Tcp("127.0.0.1:0".parse().unwrap()),
+        ServerConfig::default(),
+    )
+    .unwrap();
+    assert_equivalent(tcp.local_addr(), "tcp");
+    let stats = tcp.stats();
+    assert_eq!(stats.error_frames, 0);
+    assert_eq!(
+        stats.blocks_sent,
+        (SCENARIOS.len() * SEEDS.len()) as u64 * u64::from(BLOCKS)
+    );
+    tcp.shutdown().unwrap();
+
+    // The Unix-domain transport must frame the very same bytes.
+    #[cfg(unix)]
+    {
+        let path = std::env::temp_dir().join(format!(
+            "corrfade-wire-equivalence-{}.sock",
+            std::process::id()
+        ));
+        let unix = Server::bind(ServeAddr::Unix(path.clone()), ServerConfig::default()).unwrap();
+        assert_equivalent(unix.local_addr(), "unix");
+        unix.shutdown().unwrap();
+        assert!(!path.exists(), "shutdown must remove the socket file");
+    }
+}
