@@ -11,7 +11,12 @@
 //! * [`covariance`] — the covariance quadruple of Eq. (1)–(2) and the
 //!   assembly of the complex covariance matrix **K** of Eq. (12)–(13),
 //! * [`params`] — physical channel parameters (carrier, speed, sampling
-//!   rate) and the derived normalized Doppler quantities.
+//!   rate) and the derived normalized Doppler quantities,
+//! * [`wsn`] — network-scale spatial-field helpers: node layouts, link
+//!   extraction by connectivity radius, exponential-decay link correlation,
+//!   log-distance path loss and the assembled link-field covariance the
+//!   `corrfade-network` layer and the generated `network/*` scenario
+//!   family build on.
 //!
 //! Both models ship the exact parameter sets of the paper's Sec. 6
 //! experiments ([`jakes::paper_spectral_scenario`],
@@ -25,6 +30,7 @@ pub mod covariance;
 pub mod jakes;
 pub mod params;
 pub mod salz_winters;
+pub mod wsn;
 
 pub use covariance::{
     covariance_matrix_equal_power, CovarianceBuildError, CovarianceBuilder, QuadCovariance,
@@ -36,4 +42,8 @@ pub use jakes::{
 pub use params::ChannelParams;
 pub use salz_winters::{
     paper_covariance_matrix_23, paper_spatial_scenario, SalzWintersSpatialModel,
+};
+pub use wsn::{
+    grid_positions, link_field_covariance, links_within_radius, LinkCorrelationModel,
+    LogDistancePathLoss,
 };

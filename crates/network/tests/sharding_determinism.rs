@@ -1,0 +1,135 @@
+//! The acceptance gate of the network layer: a 64-link topology simulated as
+//! one monolithic fleet and the same topology split across 4 simulated
+//! shards must yield **bit-identical** per-link envelope blocks
+//! (`f64::to_bits`), on any pool size and for any scheduling mode. Group
+//! seeds derive from group leaders, never from shard layout, so each shard
+//! regenerates exactly the slice of the monolithic run it owns.
+//!
+//! CI runs this suite under both `CORRFADE_KERNEL=scalar` and
+//! `CORRFADE_KERNEL=vector` (the `network-scale` job): the invariant must
+//! hold within each backend.
+
+use std::collections::BTreeMap;
+
+use corrfade_models::wsn::LinkCorrelationModel;
+use corrfade_network::{NetworkSim, NetworkSimConfig, Topology};
+use corrfade_parallel::Runtime;
+use corrfade_scenarios::DopplerSettings;
+
+const MASTER_SEED: u64 = 0xC0FF_EE64;
+const SHARDS: u64 = 4;
+const EPOCHS: usize = 2;
+
+/// The reference layout: 2×22 grid → exactly 64 links, decomposed into four
+/// 16-link groups under this config.
+fn topology() -> Topology {
+    let topo = Topology::grid(2, 22, 1.0).unwrap();
+    assert_eq!(topo.link_count(), 64);
+    topo
+}
+
+fn config() -> NetworkSimConfig {
+    NetworkSimConfig {
+        correlation: LinkCorrelationModel::distance_only(0.8),
+        correlation_threshold: 0.2,
+        max_group_size: 16,
+        doppler: DopplerSettings {
+            idft_size: 128,
+            normalized_doppler: 0.05,
+            sigma_orig_sq: 0.5,
+        },
+        ..NetworkSimConfig::default()
+    }
+}
+
+/// Advances `sim` for [`EPOCHS`] epochs collecting `link → per-epoch envelope
+/// bit patterns` for every link local to the sim.
+fn collect_bits(sim: &mut NetworkSim, runtime: Option<&Runtime>) -> BTreeMap<usize, Vec<u64>> {
+    let mut bits: BTreeMap<usize, Vec<u64>> = BTreeMap::new();
+    for _ in 0..EPOCHS {
+        match runtime {
+            Some(rt) => sim.advance_on(rt).unwrap(),
+            None => sim.advance_sequential().unwrap(),
+        }
+        let locals = sim.local_links().to_vec();
+        for link in locals {
+            let trace: Vec<u64> = sim
+                .link_envelope(link)
+                .unwrap()
+                .iter()
+                .map(|r| r.to_bits())
+                .collect();
+            bits.entry(link).or_default().extend(trace);
+        }
+    }
+    bits
+}
+
+#[test]
+fn four_shards_reproduce_the_monolithic_run_bit_for_bit() {
+    let cfg = config();
+    let mut full = NetworkSim::open(topology(), &cfg, MASTER_SEED).unwrap();
+    assert_eq!(
+        full.groups().len(),
+        4,
+        "layout must decompose into 4 groups"
+    );
+    let reference = collect_bits(&mut full, None);
+    assert_eq!(reference.len(), 64);
+
+    let mut union: BTreeMap<usize, Vec<u64>> = BTreeMap::new();
+    for shard_id in 0..SHARDS {
+        let mut shard =
+            NetworkSim::open_shard(topology(), &cfg, MASTER_SEED, shard_id, SHARDS).unwrap();
+        for (link, bits) in collect_bits(&mut shard, None) {
+            assert!(
+                union.insert(link, bits).is_none(),
+                "link {link} simulated by two shards"
+            );
+        }
+    }
+    assert_eq!(
+        union, reference,
+        "union of shards diverged from the monolithic run"
+    );
+}
+
+#[test]
+fn sharded_runs_are_pool_size_invariant() {
+    let cfg = config();
+    let mut full = NetworkSim::open(topology(), &cfg, MASTER_SEED).unwrap();
+    let reference = collect_bits(&mut full, None);
+
+    for threads in [1usize, 2, 5] {
+        let runtime = Runtime::new(threads);
+        let mut union: BTreeMap<usize, Vec<u64>> = BTreeMap::new();
+        for shard_id in 0..SHARDS {
+            let mut shard =
+                NetworkSim::open_shard(topology(), &cfg, MASTER_SEED, shard_id, SHARDS).unwrap();
+            union.extend(collect_bits(&mut shard, Some(&runtime)));
+        }
+        assert_eq!(
+            union, reference,
+            "sharded run on a pool of {threads} diverged"
+        );
+    }
+}
+
+#[test]
+fn shard_count_is_invisible_to_the_bits() {
+    // 1, 2 and 4 shards must all reassemble into the same monolithic bits.
+    let cfg = config();
+    let mut full = NetworkSim::open(topology(), &cfg, MASTER_SEED).unwrap();
+    let reference = collect_bits(&mut full, None);
+
+    for shard_count in [1u64, 2, 4] {
+        let mut union: BTreeMap<usize, Vec<u64>> = BTreeMap::new();
+        for shard_id in 0..shard_count {
+            let mut shard =
+                NetworkSim::open_shard(topology(), &cfg, MASTER_SEED, shard_id, shard_count)
+                    .unwrap();
+            union.extend(collect_bits(&mut shard, None));
+        }
+        assert_eq!(union, reference, "{shard_count}-way sharding diverged");
+    }
+}

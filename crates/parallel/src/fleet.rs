@@ -104,8 +104,13 @@ fn lock_subscriber(slot: &Mutex<SubscriberSlot>) -> std::sync::MutexGuard<'_, Su
 /// assert_eq!(fleet.block(1).samples(), 4096);
 /// ```
 pub struct StreamFleet {
+    /// The registry scenarios backing the fixed streams; empty for fleets
+    /// assembled from pre-built generators ([`StreamFleet::open_streams`]).
     scenarios: Vec<&'static Scenario>,
     slots: Vec<Mutex<FleetSlot>>,
+    /// Total samples per lockstep advance, Σ dimension·block_len — computed
+    /// once at open so it stays readable through `&self`.
+    samples_per_advance: usize,
     master_seed: u64,
     /// Reusable work-stealing lanes of the pooled advance: re-dealt per
     /// advance (no allocation once warm), popped by executors with
@@ -160,26 +165,58 @@ impl StreamFleet {
         scenarios: &[&'static Scenario],
         master_seed: u64,
     ) -> Result<Self, ParallelError> {
-        let slots = scenarios
+        let streams = scenarios
             .iter()
             .enumerate()
-            .map(|(i, scenario)| {
-                let stream = scenario.build_realtime_cached(stream_seed(master_seed, i))?;
-                Ok(Mutex::new(FleetSlot {
+            .map(|(i, scenario)| Ok(scenario.build_realtime_cached(stream_seed(master_seed, i))?))
+            .collect::<Result<Vec<_>, ParallelError>>()?;
+        Ok(Self::from_parts(scenarios.to_vec(), streams, master_seed))
+    }
+
+    /// Assembles a fleet from **pre-built** real-time generators — the
+    /// registry-free entry point for layers that derive their streams from
+    /// something other than named scenarios (the `corrfade-network` crate
+    /// opens one multi-envelope stream per correlated link group this way,
+    /// each seeded by its own partition-invariant derivation).
+    ///
+    /// The caller owns the seeding policy entirely: unlike
+    /// [`StreamFleet::open`], **no** [`stream_seed`] derivation is applied,
+    /// and `master_seed` is recorded for observability only. Everything
+    /// else — lockstep [`StreamFleet::advance`] on the pool, work-stealing
+    /// lanes, per-stream pooled blocks, zero steady-state allocation,
+    /// bit-identical results on any pool size — behaves exactly as for
+    /// name-opened fleets. [`StreamFleet::scenario`] has no entries to
+    /// return for such a fleet and panics for every index.
+    #[must_use]
+    pub fn open_streams(streams: Vec<RealtimeGenerator>, master_seed: u64) -> Self {
+        Self::from_parts(Vec::new(), streams, master_seed)
+    }
+
+    fn from_parts(
+        scenarios: Vec<&'static Scenario>,
+        streams: Vec<RealtimeGenerator>,
+        master_seed: u64,
+    ) -> Self {
+        let samples_per_advance = streams.iter().map(|s| s.dimension() * s.block_len()).sum();
+        let slots = streams
+            .into_iter()
+            .map(|stream| {
+                Mutex::new(FleetSlot {
                     stream,
                     block: SampleBlock::empty(),
-                }))
+                })
             })
-            .collect::<Result<Vec<_>, ParallelError>>()?;
-        Ok(Self {
-            scenarios: scenarios.to_vec(),
+            .collect();
+        Self {
+            scenarios,
             slots,
+            samples_per_advance,
             master_seed,
             stealing: StealQueues::default(),
             subscribers: Vec::new(),
             free_subscriber_slots: Vec::new(),
             active_subscribers: 0,
-        })
+        }
     }
 
     /// Number of streams in the fleet.
@@ -214,10 +251,7 @@ impl StreamFleet {
     /// `fleet_throughput` bench.
     #[must_use]
     pub fn samples_per_advance(&self) -> usize {
-        self.scenarios
-            .iter()
-            .map(|s| s.envelopes * s.doppler.idft_size)
-            .sum()
+        self.samples_per_advance
     }
 
     /// Generates the next block for every stream concurrently on the
@@ -289,6 +323,19 @@ impl StreamFleet {
     #[must_use]
     pub fn block(&mut self, i: usize) -> &SampleBlock {
         &self.slots[i].get_mut().unwrap().block
+    }
+
+    /// Mutable access to the most recently generated block of stream `i` —
+    /// needed by consumers of the **lazy envelope view**
+    /// ([`SampleBlock::envelope_path`] caches `|z|` inside the block), e.g.
+    /// per-link fading-metric extraction in the network layer. The next
+    /// advance overwrites the complex data and invalidates that cache.
+    ///
+    /// # Panics
+    /// Panics when `i` is out of range.
+    #[must_use]
+    pub fn block_mut(&mut self, i: usize) -> &mut SampleBlock {
+        &mut self.slots[i].get_mut().unwrap().block
     }
 
     /// Attaches a *dynamic* stream to the fleet — the serving-side
@@ -519,6 +566,39 @@ mod tests {
             first_matches,
             "lockstep advances must not consume subscriber RNG state"
         );
+    }
+
+    #[test]
+    fn open_streams_uses_the_callers_generators_verbatim() {
+        use corrfade::ChannelStream;
+
+        // A prebuilt fleet applies no seed derivation: stream i must equal
+        // the standalone generator it was built from, bit for bit.
+        let scenario = lookup("two-envelope-complex").unwrap();
+        let streams = vec![
+            scenario.build_realtime_cached(100).unwrap(),
+            scenario.build_realtime_cached(200).unwrap(),
+        ];
+        let mut fleet = StreamFleet::open_streams(streams, 0);
+        assert_eq!(fleet.len(), 2);
+        assert_eq!(
+            fleet.samples_per_advance(),
+            2 * scenario.envelopes * scenario.doppler.idft_size
+        );
+
+        let mut reference = scenario.build_realtime(200).unwrap();
+        let mut expected = SampleBlock::empty();
+        for _ in 0..2 {
+            fleet.advance().unwrap();
+            reference.next_block_into(&mut expected).unwrap();
+            assert_eq!(
+                fleet.block(1),
+                &expected,
+                "exact caller seed, no derivation"
+            );
+        }
+        // The mutable block accessor exposes the same data.
+        assert_eq!(fleet.block_mut(1).envelopes(), scenario.envelopes);
     }
 
     #[test]

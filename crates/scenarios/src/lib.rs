@@ -90,6 +90,7 @@
 
 pub mod error;
 pub mod families;
+pub mod generated;
 pub mod registry;
 pub mod scenario;
 

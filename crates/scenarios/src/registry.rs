@@ -325,11 +325,14 @@ pub fn names() -> Vec<&'static str> {
     REGISTRY.iter().map(|s| s.name).collect()
 }
 
-/// Looks a scenario up by its registry name.
+/// Looks a scenario up by its registry name. Names in the `network/`
+/// namespace resolve through the generated families of [`crate::generated`]
+/// (built, leaked and cached on first use) instead of the static catalog.
 ///
 /// # Errors
 /// Returns [`ScenarioError::UnknownScenario`] — including a closest-name
-/// suggestion when one exists — if no scenario with that name is registered.
+/// suggestion when one exists — if no scenario with that name is registered
+/// and it does not match a generated family.
 ///
 /// ```
 /// let scenario = corrfade_scenarios::lookup("near-singular-eps1e6").unwrap();
@@ -342,6 +345,7 @@ pub fn lookup(name: &str) -> Result<&'static Scenario, ScenarioError> {
     REGISTRY
         .iter()
         .find(|s| s.name == name)
+        .or_else(|| crate::generated::resolve(name))
         .ok_or_else(|| ScenarioError::UnknownScenario {
             name: name.to_string(),
             suggestion: closest_name(name),

@@ -14,6 +14,14 @@
 //!
 //! The experiment harness uses the empirical estimators to verify the
 //! real-time generator produces sequences consistent with the theory.
+//!
+//! The `_block` variants ([`empirical_lcr_block`], [`empirical_afd_block`],
+//! [`outage_count_block`]) evaluate the same estimators directly on a
+//! [`SampleBlock`]'s lazily cached envelope view — no per-envelope copy, so
+//! a warm per-link trace-extraction pass (the `corrfade-network` layer runs
+//! one per link per epoch) performs **zero heap allocation**.
+
+use corrfade_linalg::SampleBlock;
 
 /// Theoretical level-crossing rate of a Rayleigh process at normalized
 /// threshold `rho = R / R_rms`, per unit of whatever `fm` is expressed in
@@ -76,6 +84,42 @@ pub fn empirical_afd(envelope: &[f64], threshold: f64) -> f64 {
     } else {
         total_below as f64 / fades as f64
     }
+}
+
+/// Number of samples of `envelope` strictly below `threshold` — the outage
+/// count, with `outage_count / len` the empirical outage probability
+/// `Pr[r < R_th]`.
+#[must_use]
+pub fn outage_count(envelope: &[f64], threshold: f64) -> usize {
+    envelope.iter().filter(|&&r| r < threshold).count()
+}
+
+/// [`empirical_lcr`] evaluated on envelope `j` of a [`SampleBlock`] through
+/// its cached envelope view — no copy of the envelope series is made, so a
+/// warm block is measured without any heap allocation.
+///
+/// # Panics
+/// Panics if `j` is out of range or the block has fewer than two samples.
+pub fn empirical_lcr_block(block: &mut SampleBlock, j: usize, threshold: f64) -> f64 {
+    empirical_lcr(block.envelope_path(j), threshold)
+}
+
+/// [`empirical_afd`] evaluated on envelope `j` of a [`SampleBlock`] through
+/// its cached envelope view (zero-copy, zero-allocation when warm).
+///
+/// # Panics
+/// Panics if `j` is out of range or the block is empty.
+pub fn empirical_afd_block(block: &mut SampleBlock, j: usize, threshold: f64) -> f64 {
+    empirical_afd(block.envelope_path(j), threshold)
+}
+
+/// [`outage_count`] evaluated on envelope `j` of a [`SampleBlock`] through
+/// its cached envelope view (zero-copy, zero-allocation when warm).
+///
+/// # Panics
+/// Panics if `j` is out of range.
+pub fn outage_count_block(block: &mut SampleBlock, j: usize, threshold: f64) -> usize {
+    outage_count(block.envelope_path(j), threshold)
 }
 
 /// Root-mean-square value of an envelope — the reference level for the
@@ -173,5 +217,65 @@ mod tests {
     #[should_panic(expected = "at least two samples")]
     fn lcr_needs_two_samples() {
         let _ = empirical_lcr(&[1.0], 0.5);
+    }
+
+    #[test]
+    fn afd_is_zero_when_envelope_never_fades() {
+        // All-above edge case: no fade is ever entered, so the average fade
+        // duration is 0.0 — never NaN or infinity.
+        let env = [2.0, 3.0, 2.5, 4.0];
+        let afd = empirical_afd(&env, 1.0);
+        assert!(afd.is_finite());
+        assert_eq!(afd, 0.0);
+    }
+
+    #[test]
+    fn afd_covers_the_whole_block_when_envelope_never_recovers() {
+        // All-below edge case: one fade spanning every sample.
+        let env = [0.1, 0.2, 0.05, 0.3, 0.15];
+        let afd = empirical_afd(&env, 1.0);
+        assert!(afd.is_finite());
+        assert_eq!(afd, env.len() as f64);
+        // LCR sees no upward crossing in either degenerate regime.
+        assert_eq!(empirical_lcr(&env, 1.0), 0.0);
+        assert_eq!(empirical_lcr(&[2.0, 3.0], 1.0), 0.0);
+    }
+
+    #[test]
+    fn outage_count_counts_samples_below_threshold() {
+        let env = [0.1, 0.2, 5.0, 5.0, 0.3, 5.0];
+        assert_eq!(outage_count(&env, 1.0), 3);
+        assert_eq!(outage_count(&env, 0.01), 0);
+        assert_eq!(outage_count(&env, 10.0), env.len());
+    }
+
+    #[test]
+    fn block_variants_match_the_slice_estimators() {
+        use corrfade_linalg::c64;
+
+        // Two envelopes with known moduli: 3-4-5 triangles scaled.
+        let mut block = SampleBlock::new(2, 4);
+        let moduli = [[0.5, 2.0, 0.25, 3.0], [2.0, 2.0, 2.0, 2.0]];
+        for (j, row) in moduli.iter().enumerate() {
+            for (l, &r) in row.iter().enumerate() {
+                block.path_mut(j)[l] = c64(0.6 * r, 0.8 * r);
+            }
+        }
+        for (j, row) in moduli.iter().enumerate() {
+            let env: Vec<f64> = row.to_vec();
+            assert!(
+                (empirical_lcr_block(&mut block, j, 1.0) - empirical_lcr(&env, 1.0)).abs() < 1e-12
+            );
+            assert!(
+                (empirical_afd_block(&mut block, j, 1.0) - empirical_afd(&env, 1.0)).abs() < 1e-12
+            );
+            assert_eq!(
+                outage_count_block(&mut block, j, 1.0),
+                outage_count(&env, 1.0)
+            );
+        }
+        // The all-above envelope reports the degenerate-case contracts.
+        assert_eq!(empirical_afd_block(&mut block, 1, 1.0), 0.0);
+        assert_eq!(outage_count_block(&mut block, 1, 1.0), 0);
     }
 }

@@ -42,8 +42,8 @@ pub use descriptive::{
     variance,
 };
 pub use fading_metrics::{
-    empirical_afd, empirical_lcr, envelope_db_around_rms, envelope_rms, theoretical_afd,
-    theoretical_lcr,
+    empirical_afd, empirical_afd_block, empirical_lcr, empirical_lcr_block, envelope_db_around_rms,
+    envelope_rms, outage_count, outage_count_block, theoretical_afd, theoretical_lcr,
 };
 pub use gof::{chi_square_test, kolmogorov_sf, ks_test, ChiSquareTest, KsTest};
 pub use histogram::{EmpiricalCdf, Histogram};

@@ -1,0 +1,102 @@
+//! Transmission power control (TPC) over a correlated WSN link field.
+//!
+//! Opens a 5×5 sensor grid as a [`corrfade_network::NetworkSim`], then runs
+//! a simple per-link closed-loop controller of the kind studied for
+//! industrial WSNs: each epoch, every link compares its measured outage
+//! probability against a target and nudges its transmit power up or down by
+//! a fixed dB step. Because nearby links fade *together* (spatially
+//! correlated shadowing/fading is exactly what this network layer models),
+//! the controller's convergence differs visibly between tightly packed
+//! links and isolated ones — the effect independent-fading simulators miss.
+//!
+//! Run with: `cargo run --release --example power_control`
+
+use corrfade_models::wsn::LinkCorrelationModel;
+use corrfade_network::{NetworkSim, NetworkSimConfig, Topology};
+use corrfade_scenarios::DopplerSettings;
+
+/// Outage probability the controller steers every link toward.
+const TARGET_OUTAGE: f64 = 0.05;
+/// Power step per epoch in dB (classic fixed-step TPC).
+const STEP_DB: f64 = 1.0;
+/// Number of control epochs.
+const EPOCHS: usize = 20;
+/// Allowed power range in dB relative to nominal.
+const POWER_RANGE_DB: f64 = 12.0;
+
+fn main() {
+    let topology = Topology::grid(5, 5, 1.0).expect("valid grid");
+    let links = topology.link_count();
+    let config = NetworkSimConfig {
+        correlation: LinkCorrelationModel::distance_only(1.0),
+        doppler: DopplerSettings {
+            idft_size: 2048,
+            normalized_doppler: 0.05,
+            sigma_orig_sq: 0.5,
+        },
+        ..NetworkSimConfig::default()
+    };
+    let mut sim = NetworkSim::open(topology, &config, 42).expect("valid network");
+
+    println!("power_control: fixed-step TPC on a 5x5 correlated WSN grid");
+    println!(
+        "links: {links}, groups: {}, target outage: {TARGET_OUTAGE}, step: {STEP_DB} dB",
+        sim.groups().len()
+    );
+    println!();
+
+    // Per-link transmit power in dB relative to nominal.
+    let mut power_db = vec![0.0f64; links];
+    let mut converged_at = vec![None::<usize>; links];
+
+    for epoch in 0..EPOCHS {
+        sim.advance().expect("advance");
+        let mut total_outage = 0.0;
+        let mut total_power = 0.0;
+        for link in 0..links {
+            let gain = 10f64.powf(power_db[link] / 10.0);
+            let m = sim.link_metrics_with_power(link, gain).expect("local link");
+            total_outage += m.outage_probability;
+            total_power += power_db[link];
+            // Fixed-step control: too many outages → power up; comfortably
+            // under target → power down (save energy).
+            if m.outage_probability > TARGET_OUTAGE {
+                power_db[link] = (power_db[link] + STEP_DB).min(POWER_RANGE_DB);
+                converged_at[link] = None;
+            } else {
+                if converged_at[link].is_none() {
+                    converged_at[link] = Some(epoch);
+                }
+                if m.outage_probability < TARGET_OUTAGE / 2.0 {
+                    power_db[link] = (power_db[link] - STEP_DB).max(-POWER_RANGE_DB);
+                }
+            }
+        }
+        println!(
+            "epoch {epoch:>2}: mean outage {:.4}, mean tx power {:+.2} dB",
+            total_outage / links as f64,
+            total_power / links as f64
+        );
+    }
+
+    println!();
+    println!("final per-link state (first 10 links):");
+    println!("  link  length  mean SNR   power    outage   LCR/sample  AFD");
+    for (link, &db) in power_db.iter().enumerate().take(links.min(10)) {
+        let gain = 10f64.powf(db / 10.0);
+        let m = sim.link_metrics_with_power(link, gain).expect("local link");
+        println!(
+            "  {:>4}  {:>6.2}  {:>7.2}dB  {:>+5.1}dB  {:>7.4}  {:>9.5}  {:>6.2}",
+            link,
+            sim.topology().link_length(link),
+            m.mean_snr_db,
+            db,
+            m.outage_probability,
+            m.lcr,
+            m.afd
+        );
+    }
+    let settled = converged_at.iter().filter(|c| c.is_some()).count();
+    println!();
+    println!("{settled}/{links} links at or under the outage target after {EPOCHS} epochs");
+}

@@ -142,6 +142,46 @@ fn next_block_into_is_allocation_free_after_warmup() {
         "StreamFleet::advance allocated {delta} time(s) after warm-up"
     );
 
+    // The network layer on top of the fleet: a warm epoch — lockstep advance
+    // of every correlated group plus a full per-link trace-extraction pass
+    // (envelope view, outage/LCR/AFD metrics through the `_block`
+    // estimators) — must be allocation-free end to end. The warm-up pays for
+    // the envelope caches of each group block; after that the metrics read
+    // straight out of the fleet's buffers.
+    {
+        use corrfade_network::{NetworkSim, NetworkSimConfig, Topology};
+        use corrfade_scenarios::DopplerSettings;
+
+        let cfg = NetworkSimConfig {
+            doppler: DopplerSettings {
+                idft_size: 512,
+                normalized_doppler: 0.05,
+                sigma_orig_sq: 0.5,
+            },
+            ..NetworkSimConfig::default()
+        };
+        let mut sim = NetworkSim::open(Topology::grid(3, 3, 1.0).unwrap(), &cfg, 1).unwrap();
+        let epoch = |sim: &mut NetworkSim| {
+            sim.advance().unwrap();
+            for link in 0..sim.link_count() {
+                let m = sim.link_metrics(link).unwrap();
+                assert!(m.outage_probability.is_finite());
+            }
+        };
+        for _ in 0..2 {
+            epoch(&mut sim);
+        }
+        let before = allocations();
+        for _ in 0..8 {
+            epoch(&mut sim);
+        }
+        let delta = allocations() - before;
+        assert_eq!(
+            delta, 0,
+            "a warm NetworkSim epoch (advance + per-link metrics) allocated {delta} time(s)"
+        );
+    }
+
     // The serving layer, end to end through a real Unix-domain socket: a
     // warm server connection's steady state — `advance_subscriber_with` on
     // the shared fleet, block-frame encode into the pooled wire buffer,

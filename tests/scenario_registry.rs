@@ -67,6 +67,44 @@ fn power_profiles_have_matching_dimensions() {
 }
 
 #[test]
+fn network_family_resolves_builds_and_streams_by_name() {
+    use corrfade::{ChannelStream, SampleBlock};
+
+    // The generated WSN family is addressable exactly like a catalogued
+    // scenario: the full 24-link grid field...
+    let field = lookup("network/grid16").unwrap();
+    assert_eq!(field.envelopes, 24);
+    let gen = field.build_realtime(3).unwrap();
+    assert_eq!(gen.dimension(), 24);
+    assert_eq!(gen.block_len(), field.doppler.idft_size);
+
+    // ...and any single link of it, streamable through the zero-allocation
+    // block API (what corrfade-serve subscriptions use).
+    let mut block = SampleBlock::empty();
+    let mut stream = lookup("network/grid16/link5").unwrap().stream(3).unwrap();
+    stream.next_block_into(&mut block).unwrap();
+    assert_eq!(block.envelopes(), 1);
+    assert_eq!(block.samples(), 1024);
+
+    // Repeated lookups hit the cache: same 'static scenario.
+    assert!(std::ptr::eq(
+        lookup("network/grid16").unwrap(),
+        lookup("network/grid16").unwrap()
+    ));
+}
+
+#[test]
+fn unknown_network_names_are_typed_errors() {
+    for bad in ["network/grid16/link24", "network/grid32", "network/"] {
+        let err = lookup(bad).unwrap_err();
+        assert!(
+            matches!(err, ScenarioError::UnknownScenario { .. }),
+            "`{bad}` should be UnknownScenario, got {err:?}"
+        );
+    }
+}
+
+#[test]
 fn generated_snapshots_realize_each_psd_scenario_covariance() {
     // For every scenario whose target is realizable (no eigenvalue
     // clipping), the sample covariance must converge to the desired one.
