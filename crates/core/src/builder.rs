@@ -68,7 +68,7 @@
 //! ));
 //! ```
 
-use corrfade_linalg::CMatrix;
+use corrfade_linalg::{CMatrix, Precision};
 use corrfade_models::{JakesSpectralModel, SalzWintersSpatialModel};
 use corrfade_stats::correlation_from_covariance;
 
@@ -100,6 +100,7 @@ pub struct GeneratorBuilder {
     powers: Option<PowerSpec>,
     driving_variance: f64,
     seed: u64,
+    precision: Precision,
 }
 
 impl Default for GeneratorBuilder {
@@ -109,13 +110,15 @@ impl Default for GeneratorBuilder {
 }
 
 impl GeneratorBuilder {
-    /// Starts an empty builder (driving variance 1, seed 0).
+    /// Starts an empty builder (driving variance 1, seed 0, `f64`
+    /// precision).
     pub fn new() -> Self {
         Self {
             source: None,
             powers: None,
             driving_variance: 1.0,
             seed: 0,
+            precision: Precision::F64,
         }
     }
 
@@ -177,6 +180,15 @@ impl GeneratorBuilder {
         self
     }
 
+    /// Sets the sample precision tier of the real-time generator (default
+    /// [`Precision::F64`]; see ARCHITECTURE.md "Precision tiers"). Only
+    /// [`GeneratorBuilder::build_realtime`] consumes it — the single-instant
+    /// generator and all covariance/decomposition work are always `f64`.
+    pub fn precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
     /// Resolves the configured source (and optional power override) into the
     /// final desired covariance matrix.
     pub fn resolve_covariance(&self) -> Result<CMatrix, CorrfadeError> {
@@ -234,6 +246,7 @@ impl GeneratorBuilder {
             normalized_doppler,
             sigma_orig_sq,
             seed: self.seed,
+            precision: self.precision,
         })
     }
 }

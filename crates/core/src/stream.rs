@@ -16,6 +16,7 @@
 //!
 //! ```
 //! use corrfade::{ChannelStream, RealtimeConfig, RealtimeGenerator, SampleBlock};
+//! use corrfade_linalg::Precision;
 //! use corrfade_models::paper_covariance_matrix_23;
 //!
 //! let cfg = RealtimeConfig {
@@ -24,6 +25,7 @@
 //!     normalized_doppler: 0.05,
 //!     sigma_orig_sq: 0.5,
 //!     seed: 7,
+//!     precision: Precision::F64,
 //! };
 //! let mut stream = RealtimeGenerator::new(cfg).unwrap();
 //! let mut block = SampleBlock::empty();

@@ -68,8 +68,15 @@ fn fft_radix2_in_place(data: &mut [Complex64], invert: bool) {
     if n <= 1 {
         return;
     }
+    scalar_bit_reverse(data);
+    scalar_butterflies(data, invert, n);
+}
 
-    // Bit-reversal permutation.
+/// The scalar backend's bit-reversal permutation (incremental-carry form,
+/// exactly as in every pre-kernel release). Shared with the fused
+/// coloring+IDFT kernel in [`crate::fused`].
+pub(crate) fn scalar_bit_reverse(data: &mut [Complex64]) {
+    let n = data.len();
     let mut j = 0usize;
     for i in 1..n {
         let mut bit = n >> 1;
@@ -82,11 +89,19 @@ fn fft_radix2_in_place(data: &mut [Complex64], invert: bool) {
             data.swap(i, j);
         }
     }
+}
 
-    // Butterflies.
+/// The scalar backend's butterfly stages with lengths `2 ..= max_len`
+/// (twiddles advanced by repeated multiplication — the historical serial
+/// chain). Passing `max_len = n` runs the full transform; the fused
+/// coloring+IDFT kernel passes `n / 2` and performs the final stage itself
+/// with the identical twiddle chain, which is what keeps it bit-exact with
+/// the two-pass path.
+pub(crate) fn scalar_butterflies(data: &mut [Complex64], invert: bool, max_len: usize) {
+    let n = data.len();
     let sign = if invert { 1.0 } else { -1.0 };
     let mut len = 2;
-    while len <= n {
+    while len <= max_len {
         let ang = sign * 2.0 * core::f64::consts::PI / len as f64;
         let wlen = Complex64::cis(ang);
         let half = len / 2;
@@ -112,11 +127,11 @@ fn fft_radix2_in_place(data: &mut [Complex64], invert: bool) {
 /// permutation and per-stage forward twiddle factors (`cis(−2πk/len)`, one
 /// contiguous run per stage so the butterfly loop reads them stride-1).
 #[derive(Debug)]
-struct FftTables {
-    rev: Vec<u32>,
+pub(crate) struct FftTables {
+    pub(crate) rev: Vec<u32>,
     /// `stages[s]` holds the `2^s` twiddles of the stage with butterfly
     /// length `2^(s+1)`.
-    stages: Vec<Vec<Complex64>>,
+    pub(crate) stages: Vec<Vec<Complex64>>,
 }
 
 impl FftTables {
@@ -146,7 +161,7 @@ impl FftTables {
 /// shared `RwLock` guard (the common case after warm-up — many parallel
 /// workers transform concurrently without serializing on the cache); the
 /// exclusive lock is only taken to insert a size seen for the first time.
-fn tables_for(n: usize) -> Arc<FftTables> {
+pub(crate) fn tables_for(n: usize) -> Arc<FftTables> {
     static CACHE: OnceLock<RwLock<HashMap<usize, Arc<FftTables>>>> = OnceLock::new();
     let cache = CACHE.get_or_init(|| RwLock::new(HashMap::new()));
     if let Some(tables) = cache.read().expect("FFT plan cache poisoned").get(&n) {
@@ -160,12 +175,17 @@ fn tables_for(n: usize) -> Arc<FftTables> {
 /// are independent (no serial `w *= wlen` chain), which is what lets the
 /// loop vectorize.
 #[inline(always)]
-fn butterflies_body<const FMA: bool>(data: &mut [Complex64], tables: &FftTables, invert: bool) {
+fn butterflies_body<const FMA: bool>(
+    data: &mut [Complex64],
+    tables: &FftTables,
+    invert: bool,
+    nstages: usize,
+) {
     let n = data.len();
     // The tables hold the forward twiddles cis(−2πk/len); the inverse
     // transform conjugates them.
     let sign = if invert { -1.0 } else { 1.0 };
-    for (s, stage) in tables.stages.iter().enumerate() {
+    for (s, stage) in tables.stages[..nstages].iter().enumerate() {
         let len = 2usize << s;
         let half = len >> 1;
         for start in (0..n).step_by(len) {
@@ -190,8 +210,44 @@ fn butterflies_body<const FMA: bool>(data: &mut [Complex64], tables: &FftTables,
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2,fma")]
-unsafe fn butterflies_avx2(data: &mut [Complex64], tables: &FftTables, invert: bool) {
-    butterflies_body::<true>(data, tables, invert);
+unsafe fn butterflies_avx2(
+    data: &mut [Complex64],
+    tables: &FftTables,
+    invert: bool,
+    nstages: usize,
+) {
+    butterflies_body::<true>(data, tables, invert, nstages);
+}
+
+/// The planned (vector-backend) bit-reversal permutation using the cached
+/// table. Shared with the fused coloring+IDFT kernel.
+pub(crate) fn planned_bit_reverse(data: &mut [Complex64], tables: &FftTables) {
+    for i in 1..data.len() {
+        let j = tables.rev[i] as usize;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+}
+
+/// The planned butterflies over the first `nstages` stages, FMA-dispatched
+/// exactly like the full planned transform. The fused coloring+IDFT kernel
+/// passes `stages.len() − 1` and performs the final stage itself with the
+/// same twiddle table and FMA formula, staying bit-exact with the two-pass
+/// vector path.
+pub(crate) fn planned_butterflies(
+    data: &mut [Complex64],
+    tables: &FftTables,
+    invert: bool,
+    nstages: usize,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if corrfade_linalg::kernel::vector_uses_fma() {
+        // SAFETY: guarded by the kernel layer's runtime AVX2+FMA detection.
+        unsafe { butterflies_avx2(data, tables, invert, nstages) };
+        return;
+    }
+    butterflies_body::<false>(data, tables, invert, nstages);
 }
 
 /// In-place planned transform (vector backend): table-driven bit reversal +
@@ -202,19 +258,8 @@ fn fft_planned_in_place(data: &mut [Complex64], invert: bool) {
         return;
     }
     let tables = tables_for(n);
-    for i in 1..n {
-        let j = tables.rev[i] as usize;
-        if i < j {
-            data.swap(i, j);
-        }
-    }
-    #[cfg(target_arch = "x86_64")]
-    if corrfade_linalg::kernel::vector_uses_fma() {
-        // SAFETY: guarded by the kernel layer's runtime AVX2+FMA detection.
-        unsafe { butterflies_avx2(data, &tables, invert) };
-        return;
-    }
-    butterflies_body::<false>(data, &tables, invert);
+    planned_bit_reverse(data, &tables);
+    planned_butterflies(data, &tables, invert, tables.stages.len());
 }
 
 /// In-place power-of-two transform on an explicit backend: the scalar
@@ -236,39 +281,106 @@ fn fft_pow2_in_place(b: Backend, data: &mut [Complex64], invert: bool) {
     }
 }
 
+/// Precomputed, input-independent state of one Bluestein chirp-z transform:
+/// the chirp sequence and the **forward FFT of the chirp filter** `bb`,
+/// which the per-call convolution only ever reads. Built once per
+/// `(n, direction, backend)` and shared through [`bluestein_plan`], so a
+/// steady-state non-power-of-two transform performs no trigonometry and —
+/// together with the thread-local work buffer — no heap allocation.
+#[derive(Debug)]
+struct BluesteinPlan {
+    /// Padded power-of-two convolution length `(2n − 1).next_power_of_two()`.
+    m: usize,
+    /// `chirp[k] = exp(sign·iπ·k²/n)`.
+    chirp: Vec<Complex64>,
+    /// Forward FFT (on the owning backend) of the zero-padded filter
+    /// `bb[k] = conj(chirp[k])`, `bb[m − k] = conj(chirp[k])`.
+    b_fft: Vec<Complex64>,
+}
+
+impl BluesteinPlan {
+    fn new(b: Backend, n: usize, invert: bool) -> Self {
+        let sign = if invert { 1.0 } else { -1.0 };
+        // Chirp: w[k] = exp(sign * i * pi * k^2 / n)
+        let chirp: Vec<Complex64> = (0..n)
+            .map(|k| {
+                // k^2 mod 2n avoids precision loss for large k.
+                let k2 = ((k as u128 * k as u128) % (2 * n as u128)) as f64;
+                Complex64::cis(sign * core::f64::consts::PI * k2 / n as f64)
+            })
+            .collect();
+
+        let m = (2 * n - 1).next_power_of_two();
+        let mut b_fft = vec![Complex64::ZERO; m];
+        for k in 0..n {
+            b_fft[k] = chirp[k].conj();
+        }
+        for k in 1..n {
+            b_fft[m - k] = chirp[k].conj();
+        }
+        fft_pow2_in_place(b, &mut b_fft, false);
+        Self { m, chirp, b_fft }
+    }
+}
+
+/// Process-wide Bluestein plan cache, keyed by length, direction and
+/// backend (the filter spectrum is computed through the backend's own
+/// power-of-two core, so the two backends' plans differ in the last bits).
+fn bluestein_plan(b: Backend, n: usize, invert: bool) -> Arc<BluesteinPlan> {
+    type Key = (usize, bool, Backend);
+    static CACHE: OnceLock<RwLock<HashMap<Key, Arc<BluesteinPlan>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| RwLock::new(HashMap::new()));
+    let key = (n, invert, b);
+    if let Some(plan) = cache
+        .read()
+        .expect("Bluestein plan cache poisoned")
+        .get(&key)
+    {
+        return Arc::clone(plan);
+    }
+    let mut map = cache.write().expect("Bluestein plan cache poisoned");
+    Arc::clone(
+        map.entry(key)
+            .or_insert_with(|| Arc::new(BluesteinPlan::new(b, n, invert))),
+    )
+}
+
+std::thread_local! {
+    /// Per-thread `m`-sized work buffer of the Bluestein convolution —
+    /// reused across calls so warm non-power-of-two transforms are
+    /// allocation-free (pinned by the `alloc_regression` suite).
+    static BLUESTEIN_WORK: core::cell::RefCell<Vec<Complex64>> =
+        const { core::cell::RefCell::new(Vec::new()) };
+}
+
 /// Bluestein chirp-z transform for arbitrary lengths, expressed through the
-/// power-of-two core of the given backend.
-fn fft_bluestein(b: Backend, input: &[Complex64], invert: bool) -> Vec<Complex64> {
-    let n = input.len();
-    let sign = if invert { 1.0 } else { -1.0 };
-    // Chirp: w[k] = exp(sign * i * pi * k^2 / n)
-    let chirp: Vec<Complex64> = (0..n)
-        .map(|k| {
-            // k^2 mod 2n avoids precision loss for large k.
-            let k2 = ((k as u128 * k as u128) % (2 * n as u128)) as f64;
-            Complex64::cis(sign * core::f64::consts::PI * k2 / n as f64)
-        })
-        .collect();
-
-    let m = (2 * n - 1).next_power_of_two();
-    let mut a = vec![Complex64::ZERO; m];
-    let mut bb = vec![Complex64::ZERO; m];
-    for k in 0..n {
-        a[k] = input[k] * chirp[k];
-        bb[k] = chirp[k].conj();
-    }
-    for k in 1..n {
-        bb[m - k] = chirp[k].conj();
-    }
-
-    fft_pow2_in_place(b, &mut a, false);
-    fft_pow2_in_place(b, &mut bb, false);
-    for k in 0..m {
-        a[k] *= bb[k];
-    }
-    fft_pow2_in_place(b, &mut a, true);
-    let scale = 1.0 / m as f64;
-    (0..n).map(|k| a[k].scale(scale) * chirp[k]).collect()
+/// power-of-two core of the given backend. Overwrites `data` with the
+/// (unscaled-by-`1/n`) transform. The chirp and filter spectrum come from
+/// the process-wide plan cache and the `m`-sized work buffer is
+/// thread-local, so the per-call arithmetic — and its floating-point
+/// operation sequence, which is identical to the historical per-call
+/// construction — is all that remains.
+fn fft_bluestein_into(b: Backend, data: &mut [Complex64], invert: bool) {
+    let n = data.len();
+    let plan = bluestein_plan(b, n, invert);
+    let m = plan.m;
+    BLUESTEIN_WORK.with(|work| {
+        let mut a = work.borrow_mut();
+        a.clear();
+        a.resize(m, Complex64::ZERO);
+        for k in 0..n {
+            a[k] = data[k] * plan.chirp[k];
+        }
+        fft_pow2_in_place(b, &mut a, false);
+        for k in 0..m {
+            a[k] *= plan.b_fft[k];
+        }
+        fft_pow2_in_place(b, &mut a, true);
+        let scale = 1.0 / m as f64;
+        for k in 0..n {
+            data[k] = a[k].scale(scale) * plan.chirp[k];
+        }
+    });
 }
 
 /// Forward DFT `X[k] = Σ_l x[l]·e^{−i2πkl/N}` on the process-wide kernel
@@ -279,13 +391,13 @@ pub fn fft(input: &[Complex64]) -> Vec<Complex64> {
     if n == 0 {
         return Vec::new();
     }
+    let mut data = input.to_vec();
     if is_power_of_two(n) {
-        let mut data = input.to_vec();
         fft_pow2_in_place(b, &mut data, false);
-        data
     } else {
-        fft_bluestein(b, input, false)
+        fft_bluestein_into(b, &mut data, false);
     }
+    data
 }
 
 /// Inverse DFT `x[l] = (1/N)·Σ_k X[k]·e^{+i2πkl/N}` on the process-wide
@@ -296,15 +408,12 @@ pub fn ifft(input: &[Complex64]) -> Vec<Complex64> {
     if n == 0 {
         return Vec::new();
     }
-    let mut out = if is_power_of_two(n) {
-        let mut data = input.to_vec();
-        fft_pow2_in_place(b, &mut data, true);
-        data
+    let mut out = input.to_vec();
+    if is_power_of_two(n) {
+        fft_pow2_in_place(b, &mut out, true);
     } else {
-        // Take the Bluestein result directly — no intermediate clone of
-        // the input.
-        fft_bluestein(b, input, true)
-    };
+        fft_bluestein_into(b, &mut out, true);
+    }
     let scale = 1.0 / n as f64;
     for z in out.iter_mut() {
         *z = z.scale(scale);
@@ -324,13 +433,14 @@ pub fn ifft(input: &[Complex64]) -> Vec<Complex64> {
 /// cache and reused thereafter). This is what the streaming generation hot
 /// path relies on.
 ///
-/// Any other length **silently falls back to the (allocating) Bluestein
-/// chirp-z transform** — the result is still written back into `data` and
-/// is numerically identical to [`ifft`], but several transform-sized
-/// scratch vectors are allocated on every call. Callers that need the
-/// allocation-free guarantee must therefore choose a power-of-two `M`; the
-/// fallback is covered by `ifft_in_place_matches_ifft` and the
-/// `bluestein_fallback_*` tests.
+/// Any other length falls back to the Bluestein chirp-z transform. Its
+/// chirp and filter spectrum live in a process-wide plan cache (keyed by
+/// length, direction and backend) and its convolution work buffer is
+/// thread-local, so after the first transform of a given length **this path
+/// is also steady-state allocation-free** — pinned, together with the
+/// power-of-two path, by the `alloc_regression` suite. The fallback is
+/// numerically identical to [`ifft`] and covered by
+/// `ifft_in_place_matches_ifft` and the `bluestein_fallback_*` tests.
 pub fn ifft_in_place(data: &mut [Complex64]) {
     ifft_in_place_with(backend(), data);
 }
@@ -350,12 +460,11 @@ pub fn ifft_in_place_with(b: Backend, data: &mut [Complex64]) {
             *z = z.scale(scale);
         }
     } else {
-        let mut out = fft_bluestein(b, data, true);
+        fft_bluestein_into(b, data, true);
         let scale = 1.0 / n as f64;
-        for z in out.iter_mut() {
+        for z in data.iter_mut() {
             *z = z.scale(scale);
         }
-        data.copy_from_slice(&out);
     }
 }
 

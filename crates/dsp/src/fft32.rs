@@ -1,0 +1,283 @@
+//! Single-precision power-of-two FFT core for the f32 fast tier.
+//!
+//! The f32 tier is new — there is no historical bit pattern to reproduce —
+//! so **both** backends run the table-driven butterflies here: twiddles are
+//! computed once in `f64` (via `cis`) and narrowed, which keeps the twiddle
+//! error at one rounding instead of the ~`k` accumulated roundings a serial
+//! `w *= wlen` chain would cost in single precision. The backends differ
+//! only in the butterfly's multiply formula: the scalar backend always uses
+//! the plain mul/add form, the vector backend uses the AVX2+FMA
+//! multiversion where the CPU supports it (mirroring the f64 planned path).
+//!
+//! Non-power-of-two lengths widen to `f64`, run the plan-cached Bluestein
+//! fallback of [`mod@crate::fft`], and narrow back — odd lengths are correct
+//! but not the fast path, exactly as documented for the f64 tier.
+
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock, RwLock};
+
+use corrfade_linalg::kernel::{backend, Backend};
+use corrfade_linalg::{Complex32, Complex64};
+
+use crate::fft::is_power_of_two;
+
+/// Precomputed tables for one power-of-two size: bit-reversal permutation
+/// and per-stage forward twiddles, narrowed from `f64`.
+#[derive(Debug)]
+pub(crate) struct FftTables32 {
+    pub(crate) rev: Vec<u32>,
+    /// `stages[s]` holds the `2^s` twiddles of the stage with butterfly
+    /// length `2^(s+1)`.
+    pub(crate) stages: Vec<Vec<Complex32>>,
+}
+
+impl FftTables32 {
+    fn new(n: usize) -> Self {
+        debug_assert!(is_power_of_two(n));
+        let bits = n.trailing_zeros();
+        let mut rev = vec![0u32; n];
+        for i in 1..n {
+            rev[i] = (rev[i >> 1] >> 1) | (((i & 1) as u32) << (bits - 1));
+        }
+        let mut stages = Vec::with_capacity(bits as usize);
+        let mut len = 2usize;
+        while len <= n {
+            let half = len / 2;
+            let stage: Vec<Complex32> = (0..half)
+                .map(|k| {
+                    Complex32::narrow(Complex64::cis(
+                        -2.0 * core::f64::consts::PI * k as f64 / len as f64,
+                    ))
+                })
+                .collect();
+            stages.push(stage);
+            len <<= 1;
+        }
+        Self { rev, stages }
+    }
+}
+
+/// Process-wide f32 plan cache, independent of the f64 one (narrowed
+/// twiddles are a different table).
+pub(crate) fn tables32_for(n: usize) -> Arc<FftTables32> {
+    static CACHE: OnceLock<RwLock<HashMap<usize, Arc<FftTables32>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| RwLock::new(HashMap::new()));
+    if let Some(tables) = cache.read().expect("f32 FFT plan cache poisoned").get(&n) {
+        return Arc::clone(tables);
+    }
+    let mut map = cache.write().expect("f32 FFT plan cache poisoned");
+    Arc::clone(
+        map.entry(n)
+            .or_insert_with(|| Arc::new(FftTables32::new(n))),
+    )
+}
+
+/// Table-driven bit reversal.
+pub(crate) fn bit_reverse32(data: &mut [Complex32], tables: &FftTables32) {
+    for i in 1..data.len() {
+        let j = tables.rev[i] as usize;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+}
+
+/// Table-driven f32 butterflies over the first `nstages` stages.
+#[inline(always)]
+fn butterflies32_body<const FMA: bool>(
+    data: &mut [Complex32],
+    tables: &FftTables32,
+    invert: bool,
+    nstages: usize,
+) {
+    let n = data.len();
+    let sign: f32 = if invert { -1.0 } else { 1.0 };
+    for (s, stage) in tables.stages[..nstages].iter().enumerate() {
+        let len = 2usize << s;
+        let half = len >> 1;
+        for start in (0..n).step_by(len) {
+            let (lo, hi) = data[start..start + len].split_at_mut(half);
+            for ((u, v), w) in lo.iter_mut().zip(hi.iter_mut()).zip(stage.iter()) {
+                let wr = w.re;
+                let wi = sign * w.im;
+                let (vr, vi) = if FMA {
+                    (v.re.mul_add(wr, -(v.im * wi)), v.re.mul_add(wi, v.im * wr))
+                } else {
+                    (v.re * wr - v.im * wi, v.re * wi + v.im * wr)
+                };
+                let (ur, ui) = (u.re, u.im);
+                u.re = ur + vr;
+                u.im = ui + vi;
+                v.re = ur - vr;
+                v.im = ui - vi;
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn butterflies32_avx2(
+    data: &mut [Complex32],
+    tables: &FftTables32,
+    invert: bool,
+    nstages: usize,
+) {
+    butterflies32_body::<true>(data, tables, invert, nstages);
+}
+
+/// The first `nstages` butterfly stages on an explicit backend: scalar runs
+/// the plain mul/add form, vector the FMA multiversion where available. The
+/// fused coloring+IDFT kernel passes `stages.len() − 1` and performs the
+/// final stage itself with the matching formula.
+pub(crate) fn butterflies32(
+    b: Backend,
+    data: &mut [Complex32],
+    tables: &FftTables32,
+    invert: bool,
+    nstages: usize,
+) {
+    match b {
+        Backend::Scalar => butterflies32_body::<false>(data, tables, invert, nstages),
+        Backend::Vector => {
+            #[cfg(target_arch = "x86_64")]
+            if corrfade_linalg::kernel::vector_uses_fma() {
+                // SAFETY: guarded by the kernel layer's runtime detection.
+                unsafe { butterflies32_avx2(data, tables, invert, nstages) };
+                return;
+            }
+            butterflies32_body::<false>(data, tables, invert, nstages);
+        }
+    }
+}
+
+std::thread_local! {
+    /// Per-thread widening buffer for the non-power-of-two fallback.
+    static WIDEN_WORK: core::cell::RefCell<Vec<Complex64>> =
+        const { core::cell::RefCell::new(Vec::new()) };
+}
+
+/// In-place f32 inverse DFT (including the `1/N` factor) on the
+/// process-wide kernel backend — the fast-tier sibling of
+/// [`crate::fft::ifft_in_place`].
+///
+/// Power-of-two lengths run the table-driven f32 butterflies and are
+/// steady-state allocation-free. Other lengths widen to `f64`, run the
+/// plan-cached Bluestein fallback and narrow back (also allocation-free
+/// once the thread-local widening buffer is warm).
+pub fn ifft32_in_place(data: &mut [Complex32]) {
+    ifft32_in_place_with(backend(), data);
+}
+
+/// [`ifft32_in_place`] on an explicit kernel backend.
+pub fn ifft32_in_place_with(b: Backend, data: &mut [Complex32]) {
+    let n = data.len();
+    if n == 0 {
+        return;
+    }
+    if is_power_of_two(n) {
+        if n > 1 {
+            let tables = tables32_for(n);
+            bit_reverse32(data, &tables);
+            let nstages = tables.stages.len();
+            butterflies32(b, data, &tables, true, nstages);
+        }
+        let scale = 1.0f32 / n as f32;
+        for z in data.iter_mut() {
+            *z = z.scale(scale);
+        }
+    } else {
+        WIDEN_WORK.with(|work| {
+            let mut buf = work.borrow_mut();
+            buf.clear();
+            buf.extend(data.iter().map(|z| z.widen()));
+            crate::fft::ifft_in_place_with(b, &mut buf);
+            for (d, s) in data.iter_mut().zip(buf.iter()) {
+                *d = Complex32::narrow(*s);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corrfade_linalg::c32;
+
+    fn test_signal32(n: usize) -> Vec<Complex32> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64;
+                Complex32::narrow(corrfade_linalg::c64(
+                    (0.3 * t).sin() + 0.1 * t.cos(),
+                    (0.7 * t).cos() - 0.05 * t,
+                ))
+            })
+            .collect()
+    }
+
+    /// f64 reference of the same narrowed input.
+    fn widened(x: &[Complex32]) -> Vec<Complex64> {
+        x.iter().map(|z| z.widen()).collect()
+    }
+
+    #[test]
+    fn matches_f64_reference_within_f32_bounds() {
+        for n in [1usize, 2, 8, 64, 1024, 4096] {
+            let x = test_signal32(n);
+            let mut wide = widened(&x);
+            crate::fft::ifft_in_place(&mut wide);
+            // The f32 bound scales with the data magnitude (the test signal
+            // ramps with n); 2e-6 relative ≈ 2^-19, comfortably above the
+            // per-stage rounding accumulation of log2(4096) = 12 stages.
+            let peak = wide.iter().map(|z| z.abs()).fold(1.0, f64::max);
+            let tol = 2e-6 * peak;
+            for b in [Backend::Scalar, Backend::Vector] {
+                let mut got = x.clone();
+                ifft32_in_place_with(b, &mut got);
+                for (g, w) in got.iter().zip(wide.iter()) {
+                    let d = (g.widen() - *w).abs();
+                    assert!(d <= tol, "n={n} {b:?}: {g} vs {w} (|Δ| = {d:e})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn backends_agree_closely() {
+        let x = test_signal32(512);
+        let mut s = x.clone();
+        let mut v = x;
+        ifft32_in_place_with(Backend::Scalar, &mut s);
+        ifft32_in_place_with(Backend::Vector, &mut v);
+        for (a, b) in s.iter().zip(v.iter()) {
+            assert!((a.re - b.re).abs() <= 1e-6 && (a.im - b.im).abs() <= 1e-6);
+        }
+    }
+
+    #[test]
+    fn non_pow2_fallback_matches_widened_f64_exactly() {
+        // The fallback literally runs the f64 transform and narrows, so the
+        // result is the correctly-rounded narrowing of the f64 answer.
+        for n in [3usize, 12, 100] {
+            let x = test_signal32(n);
+            let mut wide = widened(&x);
+            crate::fft::ifft_in_place(&mut wide);
+            let mut got = x.clone();
+            ifft32_in_place(&mut got);
+            for (g, w) in got.iter().zip(wide.iter()) {
+                assert_eq!(*g, Complex32::narrow(*w), "n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_single_point() {
+        let mut empty: Vec<Complex32> = Vec::new();
+        ifft32_in_place(&mut empty);
+        assert!(empty.is_empty());
+        let mut one = vec![c32(3.0, -1.0)];
+        ifft32_in_place(&mut one);
+        assert_eq!(one[0], c32(3.0, -1.0));
+    }
+}

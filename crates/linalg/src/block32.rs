@@ -1,0 +1,268 @@
+//! Half-width planar sample buffers for the f32 fast tier.
+//!
+//! [`SampleBlock32`] mirrors [`SampleBlock`]'s planar envelope-major layout
+//! and capacity-reusing [`SampleBlock32::resize`] contract, but stores the
+//! `N × M` complex Gaussian samples as [`Complex32`] — half the memory
+//! traffic of the reference block, which is exactly where the f32 tier's
+//! speedup comes from. It deliberately has no wire encoding: the serving
+//! protocol is f64-only in v1 (`corrfade-serve` rejects f32 stream requests
+//! with a typed error frame), so a fast-tier block crosses the process
+//! boundary only after [`SampleBlock32::widen_into`].
+//!
+//! [`SampleBlock`]: crate::block::SampleBlock
+
+use crate::block::SampleBlock;
+use crate::complex32::Complex32;
+
+/// A planar `N × M` block of `f32` complex fading samples with a lazily
+/// computed `f32` envelope view — the fast-tier sibling of
+/// [`SampleBlock`].
+#[derive(Debug, Clone, Default)]
+pub struct SampleBlock32 {
+    envelopes: usize,
+    samples: usize,
+    data: Vec<Complex32>,
+    /// Cached `|z|` values in the same planar layout; only meaningful while
+    /// `env_valid` holds.
+    env: Vec<f32>,
+    env_valid: bool,
+}
+
+impl SampleBlock32 {
+    /// Creates a zero-filled block of `envelopes × samples` complex samples.
+    #[must_use]
+    pub fn new(envelopes: usize, samples: usize) -> Self {
+        Self {
+            envelopes,
+            samples,
+            data: vec![Complex32::ZERO; envelopes * samples],
+            env: Vec::new(),
+            env_valid: false,
+        }
+    }
+
+    /// Creates an empty `0 × 0` block for pooling.
+    #[must_use]
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Number of envelope processes `N`.
+    #[must_use]
+    pub fn envelopes(&self) -> usize {
+        self.envelopes
+    }
+
+    /// Number of time samples `M` per envelope.
+    #[must_use]
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// `true` when the block holds no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Total number of complex samples, `N·M`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Resizes to `envelopes × samples`, reusing the existing allocation
+    /// whenever the new size fits the current capacity. Contents are
+    /// unspecified after a shape change; the envelope cache is invalidated.
+    pub fn resize(&mut self, envelopes: usize, samples: usize) {
+        if self.envelopes == envelopes && self.samples == samples {
+            return;
+        }
+        self.data.resize(envelopes * samples, Complex32::ZERO);
+        self.envelopes = envelopes;
+        self.samples = samples;
+        self.env_valid = false;
+    }
+
+    /// The contiguous time series of envelope `j`.
+    ///
+    /// # Panics
+    /// Panics if `j >= self.envelopes()`.
+    #[must_use]
+    pub fn path(&self, j: usize) -> &[Complex32] {
+        assert!(
+            j < self.envelopes,
+            "path: envelope index {j} out of range (N = {})",
+            self.envelopes
+        );
+        &self.data[j * self.samples..(j + 1) * self.samples]
+    }
+
+    /// The whole planar buffer (envelope-major): sample `l` of envelope `j`
+    /// is at index `j·samples + l`.
+    #[must_use]
+    pub fn as_slice(&self) -> &[Complex32] {
+        &self.data
+    }
+
+    /// Mutable access to the whole planar buffer. Invalidates the envelope
+    /// cache.
+    pub fn as_mut_slice(&mut self) -> &mut [Complex32] {
+        self.env_valid = false;
+        &mut self.data
+    }
+
+    /// The Rayleigh envelope `|z|` series of envelope `j` in `f32`,
+    /// computing the cached view (through the dispatched f32 envelope
+    /// kernel) on first use after a mutation.
+    #[must_use]
+    pub fn envelope_path(&mut self, j: usize) -> &[f32] {
+        assert!(
+            j < self.envelopes,
+            "envelope_path: envelope index {j} out of range (N = {})",
+            self.envelopes
+        );
+        self.ensure_envelopes();
+        &self.env[j * self.samples..(j + 1) * self.samples]
+    }
+
+    /// The whole planar `f32` envelope view, computing it on first use after
+    /// a mutation.
+    #[must_use]
+    pub fn envelope_slice(&mut self) -> &[f32] {
+        self.ensure_envelopes();
+        &self.env
+    }
+
+    fn ensure_envelopes(&mut self) {
+        if self.env_valid {
+            return;
+        }
+        self.env.resize(self.data.len(), 0.0);
+        crate::kernel::envelope_into_f32(&self.data, &mut self.env);
+        self.env_valid = true;
+    }
+
+    /// Widens every sample into `out` (exact `f32 → f64` conversion),
+    /// resizing `out` to the same shape. Zero heap allocation once `out`'s
+    /// capacity fits — this is how a fast-tier generator fills a caller's
+    /// pooled f64 [`SampleBlock`].
+    pub fn widen_into(&self, out: &mut SampleBlock) {
+        out.resize(self.envelopes, self.samples);
+        for (dst, src) in out.as_mut_slice().iter_mut().zip(&self.data) {
+            *dst = src.widen();
+        }
+    }
+
+    /// Fills this block by narrowing every sample of `src`
+    /// (round-to-nearest), resizing to `src`'s shape. Capacity-reusing.
+    pub fn narrow_from(&mut self, src: &SampleBlock) {
+        self.resize(src.envelopes(), src.samples());
+        self.env_valid = false;
+        for (dst, s) in self.data.iter_mut().zip(src.as_slice()) {
+            *dst = Complex32::narrow(*s);
+        }
+    }
+}
+
+impl PartialEq for SampleBlock32 {
+    /// Equality compares shape and complex contents; the lazily cached
+    /// envelope view is ignored.
+    fn eq(&self, other: &Self) -> bool {
+        self.envelopes == other.envelopes
+            && self.samples == other.samples
+            && self.data == other.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+    use crate::complex32::c32;
+
+    fn filled(n: usize, m: usize) -> SampleBlock32 {
+        let mut b = SampleBlock32::new(n, m);
+        for j in 0..n {
+            for l in 0..m {
+                b.as_mut_slice()[j * m + l] = c32(j as f32 + 1.0, l as f32);
+            }
+        }
+        b
+    }
+
+    #[test]
+    fn shape_and_layout() {
+        let b = filled(3, 5);
+        assert_eq!(b.envelopes(), 3);
+        assert_eq!(b.samples(), 5);
+        assert_eq!(b.len(), 15);
+        assert_eq!(b.path(2)[4], c32(3.0, 4.0));
+        assert_eq!(b.as_slice()[2 * 5 + 4], c32(3.0, 4.0));
+        assert!(SampleBlock32::empty().is_empty());
+    }
+
+    #[test]
+    fn resize_reuses_capacity() {
+        let mut b = SampleBlock32::new(4, 100);
+        let ptr = b.data.as_ptr();
+        b.resize(2, 50);
+        b.resize(4, 100);
+        assert_eq!(b.data.as_ptr(), ptr);
+        b.resize(4, 100);
+        assert_eq!(b.len(), 400);
+    }
+
+    #[test]
+    fn envelope_view_is_lazy_and_invalidated_by_mutation() {
+        let mut b = filled(2, 3);
+        let e = b.envelope_path(1).to_vec();
+        for (l, &v) in e.iter().enumerate() {
+            let expected = c32(2.0, l as f32).abs();
+            assert!((v - expected).abs() < 1e-6);
+        }
+        b.as_mut_slice()[3] = c32(30.0, 40.0);
+        assert_eq!(b.envelope_path(1)[0], 50.0);
+        assert_eq!(b.envelope_slice()[3], 50.0);
+    }
+
+    #[test]
+    fn widen_narrow_round_trip_is_exact() {
+        let src = filled(2, 4);
+        let mut wide = SampleBlock::empty();
+        src.widen_into(&mut wide);
+        assert_eq!(wide.envelopes(), 2);
+        assert_eq!(wide.samples(), 4);
+        assert_eq!(wide.path(1)[2], c64(2.0, 2.0));
+        let mut back = SampleBlock32::empty();
+        back.narrow_from(&wide);
+        assert_eq!(back, src);
+    }
+
+    #[test]
+    fn narrow_from_rounds_to_nearest() {
+        let mut wide = SampleBlock::new(1, 1);
+        wide.as_mut_slice()[0] = c64(1.0 + 1e-12, -0.25);
+        let mut b = SampleBlock32::empty();
+        b.narrow_from(&wide);
+        assert_eq!(b.as_slice()[0], c32(1.0, -0.25));
+    }
+
+    #[test]
+    fn equality_ignores_the_envelope_cache() {
+        let mut a = filled(2, 3);
+        let b = filled(2, 3);
+        let _ = a.envelope_path(0);
+        assert_eq!(a, b);
+        let mut c = filled(2, 3);
+        c.as_mut_slice()[0] = c32(9.0, 9.0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn path_bounds_checked() {
+        let b = filled(2, 3);
+        let _ = b.path(2);
+    }
+}

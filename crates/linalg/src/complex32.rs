@@ -1,0 +1,273 @@
+//! Single-precision complex arithmetic for the f32 fast tier.
+//!
+//! [`Complex32`] is the half-width sibling of [`Complex64`]: a plain
+//! `#[repr(C)]` pair of `f32`s with value semantics. It deliberately carries
+//! only the operations the sample-generation hot path needs — construction,
+//! the ring operations, conjugation, modulus, real scaling and widen/narrow
+//! conversions — because every decomposition, covariance build and wire
+//! encode in the workspace stays in `f64`. Narrowing happens exactly once
+//! per value, at the edge of the fast tier.
+//!
+//! [`Complex64`]: crate::complex::Complex64
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use crate::complex::Complex64;
+
+/// A complex number with `f32` real and imaginary parts.
+#[derive(Clone, Copy, PartialEq, Default)]
+#[repr(C)]
+pub struct Complex32 {
+    /// Real part.
+    pub re: f32,
+    /// Imaginary part.
+    pub im: f32,
+}
+
+/// Convenience constructor: `c32(re, im)`.
+#[inline]
+pub const fn c32(re: f32, im: f32) -> Complex32 {
+    Complex32 { re, im }
+}
+
+impl Complex32 {
+    /// The additive identity `0 + 0i`.
+    pub const ZERO: Complex32 = c32(0.0, 0.0);
+    /// The multiplicative identity `1 + 0i`.
+    pub const ONE: Complex32 = c32(1.0, 0.0);
+
+    /// Creates a new complex number from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f32, im: f32) -> Self {
+        Self { re, im }
+    }
+
+    /// Complex conjugate `re − i·im`.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Modulus `|z|`, computed in `f64` and rounded once, so the fast-tier
+    /// envelope matches `widen().abs() as f32` bit for bit.
+    #[inline]
+    pub fn abs(self) -> f32 {
+        (f64::from(self.re) * f64::from(self.re) + f64::from(self.im) * f64::from(self.im)).sqrt()
+            as f32
+    }
+
+    /// Squared modulus `|z|² = z · z̄`.
+    #[inline]
+    pub fn norm_sqr(self) -> f32 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, k: f32) -> Self {
+        Self {
+            re: self.re * k,
+            im: self.im * k,
+        }
+    }
+
+    /// Fused multiply-add `self * b + c` using `f32::mul_add` per partial
+    /// product, mirroring [`Complex64::mul_add`] so the scalar f32 kernels
+    /// have the same operation shape as their f64 references.
+    #[inline]
+    pub fn mul_add(self, b: Self, c: Self) -> Self {
+        Self {
+            re: self.re.mul_add(b.re, (-self.im).mul_add(b.im, c.re)),
+            im: self.re.mul_add(b.im, self.im.mul_add(b.re, c.im)),
+        }
+    }
+
+    /// Widens to double precision (exact).
+    #[inline]
+    pub fn widen(self) -> Complex64 {
+        Complex64 {
+            re: f64::from(self.re),
+            im: f64::from(self.im),
+        }
+    }
+
+    /// Narrows a double-precision value (round-to-nearest per component).
+    #[inline]
+    pub fn narrow(z: Complex64) -> Self {
+        Self {
+            re: z.re as f32,
+            im: z.im as f32,
+        }
+    }
+
+    /// `true` when both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl fmt::Debug for Complex32 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Complex32 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 || self.im.is_nan() {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}-{}i", self.re, -self.im)
+        }
+    }
+}
+
+impl Neg for Complex32 {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        Self {
+            re: -self.re,
+            im: -self.im,
+        }
+    }
+}
+
+impl Add for Complex32 {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
+    }
+}
+
+impl Sub for Complex32 {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
+    }
+}
+
+impl Mul for Complex32 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Self {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl Mul<f32> for Complex32 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: f32) -> Self {
+        self.scale(rhs)
+    }
+}
+
+impl AddAssign for Complex32 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Complex32 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Complex32 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+
+    #[test]
+    fn ring_operations() {
+        let a = c32(1.0, 2.0);
+        let b = c32(-3.0, 0.5);
+        assert_eq!(a + b, c32(-2.0, 2.5));
+        assert_eq!(a - b, c32(4.0, 1.5));
+        assert_eq!(a * b, c32(-4.0, -5.5));
+        assert_eq!(-a, c32(-1.0, -2.0));
+        assert_eq!(a.scale(2.0), c32(2.0, 4.0));
+        assert_eq!(a * 2.0, c32(2.0, 4.0));
+    }
+
+    #[test]
+    fn conj_abs_norm() {
+        let z = c32(3.0, -4.0);
+        assert_eq!(z.conj(), c32(3.0, 4.0));
+        assert_eq!(z.abs(), 5.0);
+        assert_eq!(z.norm_sqr(), 25.0);
+    }
+
+    #[test]
+    fn widen_narrow_round_trip_is_exact() {
+        let z = c32(0.1, -2.5);
+        assert_eq!(Complex32::narrow(z.widen()), z);
+    }
+
+    #[test]
+    fn narrow_rounds_to_nearest() {
+        let z = Complex32::narrow(c64(1.0 + 1e-12, -1.0));
+        assert_eq!(z, c32(1.0, -1.0));
+    }
+
+    #[test]
+    fn abs_matches_widened_reference() {
+        for &(re, im) in &[(0.3f32, -0.7f32), (1e-20, 1e-20), (1234.5, -0.001)] {
+            let z = c32(re, im);
+            assert_eq!(z.abs(), z.widen().abs() as f32);
+        }
+    }
+
+    #[test]
+    fn mul_add_matches_separate_ops() {
+        let a = c32(1.5, -0.5);
+        let b = c32(-2.0, 0.25);
+        let c = c32(0.75, 3.0);
+        let got = a.mul_add(b, c);
+        let want = a * b + c;
+        assert!((got.re - want.re).abs() < 1e-5 && (got.im - want.im).abs() < 1e-5);
+    }
+
+    #[test]
+    fn assigning_operators() {
+        let mut z = c32(1.0, 1.0);
+        z += c32(1.0, 0.0);
+        z -= c32(0.0, 1.0);
+        z *= c32(0.0, 1.0);
+        assert_eq!(z, c32(0.0, 2.0));
+    }
+
+    #[test]
+    fn finite_predicate() {
+        assert!(c32(1.0, 2.0).is_finite());
+        assert!(!c32(f32::INFINITY, 0.0).is_finite());
+        assert!(!c32(0.0, f32::NAN).is_finite());
+    }
+}

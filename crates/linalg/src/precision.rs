@@ -1,0 +1,75 @@
+//! Sample-precision selection for the generation pipeline.
+//!
+//! Every analysis stage in the workspace — covariance builds, eigen and
+//! Cholesky decompositions, `FactorCache` keys — always runs in `f64`.
+//! [`Precision`] selects only the *sample generation* tier: the Gaussian
+//! spectrum fill, the IDFT, the coloring matvec and the envelope pass.
+//! [`Precision::F64`] is the default, bit-exact reference path pinned by the
+//! golden tests; [`Precision::F32`] is the opt-in fast tier that narrows at
+//! the spectrum fill and stays half-width through the hot loops.
+//!
+//! The f32 tier's error contract versus the f64 reference is documented in
+//! `ARCHITECTURE.md` ("Precision tiers") and asserted by the
+//! `kernel_proptest` and `precision_tier` suites.
+
+/// Which floating-point width the sample-generation hot path runs at.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Precision {
+    /// Full double precision — the bit-exact reference tier (default).
+    #[default]
+    F64,
+    /// Half-width fast tier: samples are generated, colored and enveloped in
+    /// `f32`, then widened on export. Opt-in; bounded error vs [`Self::F64`].
+    F32,
+}
+
+impl Precision {
+    /// Reads the test-matrix override from `CORRFADE_TEST_PRECISION`.
+    ///
+    /// Returns [`Precision::F64`] when the variable is unset or empty;
+    /// accepts `f64` / `f32` (case-insensitive) and panics on anything else
+    /// so a typo in a CI matrix cannot silently run the wrong tier. This is
+    /// read by the equivalence *test suites*, never by library code.
+    pub fn from_test_env() -> Self {
+        match std::env::var("CORRFADE_TEST_PRECISION") {
+            Err(_) => Self::F64,
+            Ok(v) if v.is_empty() => Self::F64,
+            Ok(v) => match v.to_ascii_lowercase().as_str() {
+                "f64" => Self::F64,
+                "f32" => Self::F32,
+                other => panic!("CORRFADE_TEST_PRECISION must be `f64` or `f32`, got `{other}`"),
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::F64 => f.write_str("f64"),
+            Self::F32 => f.write_str("f32"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_f64() {
+        assert_eq!(Precision::default(), Precision::F64);
+    }
+
+    #[test]
+    fn display_round_trips_the_env_spelling() {
+        assert_eq!(Precision::F64.to_string(), "f64");
+        assert_eq!(Precision::F32.to_string(), "f32");
+    }
+
+    #[test]
+    fn usable_in_const_context() {
+        const P: Precision = Precision::F32;
+        assert_eq!(P, Precision::F32);
+    }
+}

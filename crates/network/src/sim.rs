@@ -20,7 +20,7 @@
 //! That second property is what makes one-fleet-per-process scale-out
 //! (MPI-style, one [`NetworkSim`] per rank) a pure partitioning exercise.
 
-use corrfade::{cached_eigen_coloring, Coloring, RealtimeConfig, RealtimeGenerator};
+use corrfade::{cached_eigen_coloring, Coloring, Precision, RealtimeConfig, RealtimeGenerator};
 use corrfade_models::wsn::{link_field_covariance, LinkCorrelationModel, LogDistancePathLoss};
 use corrfade_parallel::{Runtime, StreamFleet};
 use corrfade_scenarios::DopplerSettings;
@@ -67,6 +67,11 @@ pub struct NetworkSimConfig {
     /// Outage threshold: a link is in outage while its instantaneous SNR
     /// `r²` is below `10^(outage_snr_db/10)`.
     pub outage_snr_db: f64,
+    /// Sample precision tier shared by every link generator (default
+    /// [`Precision::F64`]; see ARCHITECTURE.md "Precision tiers"). The group
+    /// covariances and their decompositions stay `f64` either way, so the
+    /// decomposition cache is shared across tiers.
+    pub precision: Precision,
 }
 
 impl Default for NetworkSimConfig {
@@ -82,6 +87,7 @@ impl Default for NetworkSimConfig {
             max_group_size: 64,
             doppler: DopplerSettings::PAPER,
             outage_snr_db: 5.0,
+            precision: Precision::F64,
         }
     }
 }
@@ -208,6 +214,7 @@ impl NetworkSim {
                     normalized_doppler: config.doppler.normalized_doppler,
                     sigma_orig_sq: config.doppler.sigma_orig_sq,
                     seed: shard_seed(master_seed, groups.leader(g) as u64),
+                    precision: config.precision,
                 },
             )?;
             let stream_index = streams.len();

@@ -5,7 +5,8 @@
 //! fleet is advanced sequentially or on a pool.
 
 use corrfade::{
-    cached_eigen_coloring, ChannelStream, Coloring, RealtimeConfig, RealtimeGenerator, SampleBlock,
+    cached_eigen_coloring, ChannelStream, Coloring, Precision, RealtimeConfig, RealtimeGenerator,
+    SampleBlock,
 };
 use corrfade_models::wsn::{link_field_covariance, LinkCorrelationModel};
 use corrfade_network::{shard_seed, NetworkSim, NetworkSimConfig, Topology};
@@ -25,6 +26,10 @@ fn config() -> NetworkSimConfig {
             normalized_doppler: 0.05,
             sigma_orig_sq: 0.5,
         },
+        // The CI precision matrix re-runs this suite under
+        // CORRFADE_TEST_PRECISION=f32: both the fleet and the standalone
+        // reference share the tier, so lockstep stays bit-exact.
+        precision: Precision::from_test_env(),
         ..NetworkSimConfig::default()
     }
 }
@@ -74,6 +79,7 @@ fn every_group_matches_a_standalone_generator_bit_for_bit() {
                 normalized_doppler: cfg.doppler.normalized_doppler,
                 sigma_orig_sq: cfg.doppler.sigma_orig_sq,
                 seed: shard_seed(MASTER_SEED, group[0] as u64),
+                precision: cfg.precision,
             },
         )
         .unwrap();

@@ -461,6 +461,7 @@ pub mod spawn {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use corrfade_linalg::Precision;
     use corrfade_models::{paper_covariance_matrix_22, paper_covariance_matrix_23};
     use corrfade_stats::{relative_frobenius_error, sample_covariance};
 
@@ -514,6 +515,7 @@ mod tests {
             normalized_doppler: 0.1,
             sigma_orig_sq: 0.5,
             seed: 1,
+            precision: Precision::F64,
         };
         assert!(generate_realtime_paths(&base, 1, &bad).is_ok());
     }
@@ -557,6 +559,7 @@ mod tests {
             normalized_doppler: 0.05,
             sigma_orig_sq: 0.5,
             seed: 2,
+            precision: Precision::F64,
         };
         assert_eq!(
             generate_realtime_paths(&base, 5, &cfg).unwrap(),
@@ -627,6 +630,7 @@ mod tests {
             normalized_doppler: 0.05,
             sigma_orig_sq: 0.5,
             seed: 5,
+            precision: Precision::F64,
         };
         let paths = generate_realtime_paths(&base, 24, &config(4, 5)).unwrap();
         assert_eq!(paths.len(), 3);
@@ -645,6 +649,7 @@ mod tests {
             normalized_doppler: 0.1,
             sigma_orig_sq: 0.5,
             seed: 9,
+            precision: Precision::F64,
         };
         let a = generate_realtime_paths(&base, 6, &config(1, 0)).unwrap();
         let b = generate_realtime_paths(&base, 6, &config(3, 0)).unwrap();

@@ -20,6 +20,7 @@
 use std::collections::BTreeMap;
 use std::sync::{Mutex, OnceLock};
 
+use corrfade_linalg::Precision;
 use corrfade_models::wsn::{
     grid_positions, link_field_covariance, links_within_radius, LinkCorrelationModel,
     LogDistancePathLoss,
@@ -88,6 +89,7 @@ fn build_grid16(name: &'static str) -> Scenario {
         powers: PowerProfile::Intrinsic,
         covariance: CovarianceSpec::Explicit { entries },
         doppler: NETWORK_DOPPLER,
+        precision: Precision::F64,
     }
 }
 
@@ -107,6 +109,7 @@ fn build_grid16_link(name: &'static str, link: usize) -> Scenario {
         powers: PowerProfile::Intrinsic,
         covariance: CovarianceSpec::Explicit { entries: single },
         doppler: NETWORK_DOPPLER,
+        precision: Precision::F64,
     }
 }
 

@@ -8,6 +8,7 @@
 
 use core::f64::consts::{FRAC_PI_4, PI};
 
+use corrfade_linalg::Precision;
 use corrfade_models::ChannelParams;
 
 use crate::error::ScenarioError;
@@ -81,6 +82,7 @@ pub static REGISTRY: &[Scenario] = &[
             arrival_times_s: &SPECTRAL_ARRIVAL_TIMES_S,
         },
         doppler: DopplerSettings::PAPER,
+        precision: Precision::F64,
     },
     Scenario {
         name: "fig4b-spatial",
@@ -99,6 +101,7 @@ pub static REGISTRY: &[Scenario] = &[
             angular_spread_rad: PI / 18.0,
         },
         doppler: DopplerSettings::PAPER,
+        precision: Precision::F64,
     },
     Scenario {
         name: "mimo-ula-halfwave",
@@ -116,6 +119,7 @@ pub static REGISTRY: &[Scenario] = &[
             angular_spread_rad: PI / 6.0,
         },
         doppler: DopplerSettings::PAPER,
+        precision: Precision::F64,
     },
     Scenario {
         name: "mimo-offbroadside",
@@ -133,6 +137,7 @@ pub static REGISTRY: &[Scenario] = &[
             angular_spread_rad: 0.3,
         },
         doppler: DopplerSettings::PAPER,
+        precision: Precision::F64,
     },
     Scenario {
         name: "unequal-power-spatial",
@@ -150,6 +155,7 @@ pub static REGISTRY: &[Scenario] = &[
             angular_spread_rad: PI / 18.0,
         },
         doppler: DopplerSettings::PAPER,
+        precision: Precision::F64,
     },
     Scenario {
         name: "unequal-power-geometric",
@@ -166,6 +172,7 @@ pub static REGISTRY: &[Scenario] = &[
             base: 0.5,
         },
         doppler: DopplerSettings::PAPER,
+        precision: Precision::F64,
     },
     Scenario {
         name: "two-envelope-complex",
@@ -183,6 +190,7 @@ pub static REGISTRY: &[Scenario] = &[
             rho_im: 0.4,
         },
         doppler: DopplerSettings::PAPER,
+        precision: Precision::F64,
     },
     Scenario {
         name: "indefinite-rho08",
@@ -196,6 +204,7 @@ pub static REGISTRY: &[Scenario] = &[
         powers: PowerProfile::Intrinsic,
         covariance: CovarianceSpec::Indefinite { rho: 0.8 },
         doppler: DopplerSettings::PAPER,
+        precision: Precision::F64,
     },
     Scenario {
         name: "indefinite-rho09",
@@ -210,6 +219,7 @@ pub static REGISTRY: &[Scenario] = &[
         powers: PowerProfile::Intrinsic,
         covariance: CovarianceSpec::Indefinite { rho: 0.9 },
         doppler: DopplerSettings::PAPER,
+        precision: Precision::F64,
     },
     Scenario {
         name: "near-singular-eps1e6",
@@ -223,6 +233,7 @@ pub static REGISTRY: &[Scenario] = &[
         powers: PowerProfile::Intrinsic,
         covariance: CovarianceSpec::NearSingular { eps: 1e-6 },
         doppler: DopplerSettings::PAPER,
+        precision: Precision::F64,
     },
     Scenario {
         name: "near-singular-eps1e9",
@@ -235,6 +246,7 @@ pub static REGISTRY: &[Scenario] = &[
         powers: PowerProfile::Intrinsic,
         covariance: CovarianceSpec::NearSingular { eps: 1e-9 },
         doppler: DopplerSettings::PAPER,
+        precision: Precision::F64,
     },
     Scenario {
         name: "near-singular-eps1e13",
@@ -247,6 +259,7 @@ pub static REGISTRY: &[Scenario] = &[
         powers: PowerProfile::Intrinsic,
         covariance: CovarianceSpec::NearSingular { eps: 1e-13 },
         doppler: DopplerSettings::PAPER,
+        precision: Precision::F64,
     },
     Scenario {
         name: "quickstart-demo",
@@ -261,6 +274,7 @@ pub static REGISTRY: &[Scenario] = &[
             entries: &QUICKSTART_ENTRIES,
         },
         doppler: DopplerSettings::PAPER,
+        precision: Precision::F64,
     },
     Scenario {
         name: "baseline-unequal",
@@ -276,6 +290,7 @@ pub static REGISTRY: &[Scenario] = &[
             entries: &BASELINE_UNEQUAL_ENTRIES,
         },
         doppler: DopplerSettings::PAPER,
+        precision: Precision::F64,
     },
     Scenario {
         name: "scaling-exp-rho07",
@@ -289,6 +304,7 @@ pub static REGISTRY: &[Scenario] = &[
         powers: PowerProfile::Intrinsic,
         covariance: CovarianceSpec::Exponential { rho: 0.7 },
         doppler: DopplerSettings::PAPER,
+        precision: Precision::F64,
     },
     Scenario {
         name: "complex-exp-rho08",
@@ -305,6 +321,7 @@ pub static REGISTRY: &[Scenario] = &[
             theta: 0.7,
         },
         doppler: DopplerSettings::PAPER,
+        precision: Precision::F64,
     },
 ];
 

@@ -95,7 +95,18 @@ pub mod code {
     pub const FRAME_SIZE_MISMATCH: u16 = 9;
     /// The server is shutting down and stopped the stream early.
     pub const SERVER_SHUTDOWN: u16 = 10;
+    /// The request asked for a sample precision the protocol version cannot
+    /// stream (the f32 fast tier is reserved for wire v2).
+    pub const PRECISION_UNSUPPORTED: u16 = 11;
 }
+
+/// Request-header flag (bit 15 of the name-length field, which
+/// [`MAX_NAME_LEN`] leaves free) reserved for requesting an f32 fast-tier
+/// stream. Wire v1 carries every block as planar little-endian `f64`
+/// ([`SampleBlock::encode_le_into`]), so a v1 server answers the flag with a
+/// typed [`code::PRECISION_UNSUPPORTED`] error frame instead of silently
+/// widening; a future v2 will honour it with half-width block frames.
+pub const FLAG_F32_STREAM: u16 = 1 << 15;
 
 /// Everything that can be wrong with bytes on the wire, as a typed error.
 ///
@@ -166,6 +177,12 @@ pub enum ProtocolError {
         /// Payload bytes actually present.
         got: usize,
     },
+    /// The request set a precision flag this protocol version cannot serve.
+    PrecisionUnsupported {
+        /// The raw flag bits the peer set (currently only
+        /// [`FLAG_F32_STREAM`]).
+        flags: u16,
+    },
     /// The server is shutting down and ended the stream early.
     ServerShutdown,
 }
@@ -184,6 +201,7 @@ impl ProtocolError {
             ProtocolError::UnknownScenario { .. } => code::UNKNOWN_SCENARIO,
             ProtocolError::ScenarioRejected { .. } => code::SCENARIO_REJECTED,
             ProtocolError::FrameSizeMismatch { .. } => code::FRAME_SIZE_MISMATCH,
+            ProtocolError::PrecisionUnsupported { .. } => code::PRECISION_UNSUPPORTED,
             ProtocolError::ServerShutdown => code::SERVER_SHUTDOWN,
         }
     }
@@ -227,6 +245,11 @@ impl core::fmt::Display for ProtocolError {
             } => write!(
                 f,
                 "{what} frame size mismatch: contents require {expected} byte(s), payload has {got}"
+            ),
+            ProtocolError::PrecisionUnsupported { flags } => write!(
+                f,
+                "precision flags {flags:#06x} are not supported by wire \
+                 version {VERSION}; this server streams f64 blocks only"
             ),
             ProtocolError::ServerShutdown => {
                 write!(f, "server is shutting down; stream ended early")
@@ -299,10 +322,18 @@ fn u64_at(buf: &[u8], at: usize) -> u64 {
 
 /// Appends the wire encoding of a request to `buf`.
 pub fn encode_request(request: &Request, buf: &mut Vec<u8>) {
+    encode_request_with_flags(request, 0, buf);
+}
+
+/// [`encode_request`] with explicit header flag bits OR-ed into the
+/// name-length field (currently only [`FLAG_F32_STREAM`]). What a
+/// forward-looking client — or the lifecycle test pinning the v1 guard —
+/// uses to ask for a fast-tier stream.
+pub fn encode_request_with_flags(request: &Request, flags: u16, buf: &mut Vec<u8>) {
     buf.extend_from_slice(&MAGIC);
     buf.extend_from_slice(&VERSION.to_le_bytes());
     let name_len = u16::try_from(request.scenario.len()).unwrap_or(u16::MAX);
-    buf.extend_from_slice(&name_len.to_le_bytes());
+    buf.extend_from_slice(&(name_len | flags).to_le_bytes());
     buf.extend_from_slice(&request.seed.to_le_bytes());
     buf.extend_from_slice(&request.blocks.to_le_bytes());
     buf.extend_from_slice(request.scenario.as_bytes());
@@ -313,7 +344,8 @@ pub fn encode_request(request: &Request, buf: &mut Vec<u8>) {
 /// [`REQUEST_HEADER_LEN`] bytes, calls this, then reads `name_len` more.
 ///
 /// # Errors
-/// [`ProtocolError`] on short input, wrong magic/version, or a name length
+/// [`ProtocolError`] on short input, wrong magic/version, a set precision
+/// flag ([`FLAG_F32_STREAM`] — v1 streams `f64` only), or a name length
 /// outside `1..=`[`MAX_NAME_LEN`].
 pub fn decode_request_header(buf: &[u8]) -> Result<(u64, u32, usize), ProtocolError> {
     if buf.len() < REQUEST_HEADER_LEN {
@@ -334,7 +366,15 @@ pub fn decode_request_header(buf: &[u8]) -> Result<(u64, u32, usize), ProtocolEr
             supported: VERSION,
         });
     }
-    let name_len = usize::from(u16_at(buf, 6));
+    // Bit 15 of the name-length field carries the (v2-reserved) precision
+    // flag; mask it off before any length validation so a flagged request
+    // earns the typed precision error, not a bogus size complaint.
+    let raw_len = u16_at(buf, 6);
+    let flags = raw_len & FLAG_F32_STREAM;
+    if flags != 0 {
+        return Err(ProtocolError::PrecisionUnsupported { flags });
+    }
+    let name_len = usize::from(raw_len & !FLAG_F32_STREAM);
     if name_len == 0 {
         return Err(ProtocolError::BadScenarioName {
             reason: "scenario name is empty",
@@ -665,8 +705,10 @@ mod tests {
         ));
 
         let mut huge_name = wire;
+        // 0x7FFF: every length bit set but the precision flag (bit 15)
+        // clear, so this is an oversized *name*, not a precision request.
         huge_name[6] = 0xFF;
-        huge_name[7] = 0xFF;
+        huge_name[7] = 0x7F;
         assert!(matches!(
             decode_request(&huge_name),
             Err(ProtocolError::Oversized { .. })
@@ -755,11 +797,39 @@ mod tests {
                 got: 0,
             },
             ProtocolError::ServerShutdown,
+            ProtocolError::PrecisionUnsupported {
+                flags: FLAG_F32_STREAM,
+            },
         ];
         let mut codes: Vec<u16> = variants.iter().map(ProtocolError::code).collect();
         codes.sort_unstable();
         codes.dedup();
         assert_eq!(codes.len(), variants.len(), "duplicate wire codes");
-        assert_eq!(codes, (1..=10).collect::<Vec<_>>());
+        assert_eq!(codes, (1..=11).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn f32_flagged_requests_earn_the_typed_precision_error() {
+        let request = Request {
+            scenario: "fig4a-spectral".to_string(),
+            seed: 7,
+            blocks: 2,
+        };
+        let mut wire = Vec::new();
+        encode_request_with_flags(&request, FLAG_F32_STREAM, &mut wire);
+        // The flag must win over every name-length check: the masked length
+        // is valid here, and the error is the precision one, not Oversized.
+        assert_eq!(
+            decode_request_header(&wire),
+            Err(ProtocolError::PrecisionUnsupported {
+                flags: FLAG_F32_STREAM
+            })
+        );
+        // Unflagged encoding of the identical request still round-trips.
+        let mut plain = Vec::new();
+        encode_request(&request, &mut plain);
+        assert_eq!(decode_request(&plain).unwrap(), request);
+        // The flag bit cannot collide with a legal name length.
+        assert!(u16::try_from(MAX_NAME_LEN).unwrap() & FLAG_F32_STREAM == 0);
     }
 }

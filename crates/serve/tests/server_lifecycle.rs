@@ -12,7 +12,8 @@ use std::time::{Duration, Instant};
 use corrfade::{ChannelStream, SampleBlock};
 use corrfade_scenarios::lookup;
 use corrfade_serve::protocol::{
-    code, decode_frame_payload, encode_request, split_frame, Frame, Request, MAGIC,
+    code, decode_frame_payload, encode_request, encode_request_with_flags, split_frame, Frame,
+    Request, FLAG_F32_STREAM, MAGIC,
 };
 use corrfade_serve::{Client, Conn, ServeAddr, ServeError, Server, ServerConfig};
 
@@ -190,6 +191,44 @@ fn protocol_errors_arrive_as_typed_frames() {
 
     // Each rejected request was counted, and none left a subscription.
     wait_until("error-frame counters", || server.stats().error_frames == 3);
+    assert_eq!(server.stats().subscribers, 0);
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn f32_stream_requests_get_a_typed_precision_error_frame() {
+    // Wire v1 streams f64 blocks only; the f32 fast tier's header flag is
+    // reserved for v2. A flagged request must not be misread as an oversized
+    // name or silently served widened — it earns its own typed error frame
+    // and leaves no subscription behind.
+    let server = tcp_server();
+    let addr = server.local_addr().clone();
+
+    let mut request = Vec::new();
+    encode_request_with_flags(
+        &Request {
+            scenario: "two-envelope-complex".into(),
+            seed: 1,
+            blocks: 1,
+        },
+        FLAG_F32_STREAM,
+        &mut request,
+    );
+    let mut raw = Conn::connect(&addr, Duration::from_secs(10)).unwrap();
+    raw.write_all(&request).unwrap();
+    let mut response = Vec::new();
+    raw.read_to_end(&mut response).unwrap();
+    let (payload, _) = split_frame(&response).unwrap();
+    let Frame::Error { code: c, message } = decode_frame_payload(payload).unwrap() else {
+        panic!("expected an error frame");
+    };
+    assert_eq!(c, code::PRECISION_UNSUPPORTED);
+    assert!(
+        message.contains("f64"),
+        "the error should say what the server can stream: {message}"
+    );
+
+    wait_until("error-frame counter", || server.stats().error_frames == 1);
     assert_eq!(server.stats().subscribers, 0);
     server.shutdown().unwrap();
 }

@@ -16,7 +16,8 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use corrfade::{
-    ChannelStream, CorrelatedRayleighGenerator, RealtimeConfig, RealtimeGenerator, SampleBlock,
+    ChannelStream, CorrelatedRayleighGenerator, Precision, RealtimeConfig, RealtimeGenerator,
+    SampleBlock, SampleBlock32,
 };
 use corrfade_models::{paper_covariance_matrix_22, paper_covariance_matrix_23};
 
@@ -74,6 +75,7 @@ fn next_block_into_is_allocation_free_after_warmup() {
             normalized_doppler: 0.05,
             sigma_orig_sq: 0.5,
             seed: 1,
+            precision: Precision::F64,
         };
         let mut realtime = RealtimeGenerator::new(cfg).unwrap();
         let delta = measure(&mut realtime, &mut block);
@@ -89,6 +91,60 @@ fn next_block_into_is_allocation_free_after_warmup() {
         assert_eq!(
             delta, 0,
             "CorrelatedRayleighGenerator::next_block_into allocated {delta} time(s) after warm-up"
+        );
+    }
+
+    // A non-power-of-two M exercises the Bluestein IDFT fallback: with the
+    // process-wide plan cache and the thread-local convolution scratch warm,
+    // odd lengths must stream allocation-free too.
+    {
+        let cfg = RealtimeConfig {
+            covariance: paper_covariance_matrix_22(),
+            idft_size: 1000,
+            normalized_doppler: 0.04,
+            sigma_orig_sq: 0.5,
+            seed: 2,
+            precision: Precision::F64,
+        };
+        let mut bluestein = RealtimeGenerator::new(cfg).unwrap();
+        let delta = measure(&mut bluestein, &mut block);
+        assert_eq!(
+            delta, 0,
+            "a warm non-power-of-two (Bluestein) stream allocated {delta} time(s)"
+        );
+    }
+
+    // The f32 fast tier: both the widening `ChannelStream` surface and the
+    // native `SampleBlock32` entry point must be allocation-free once warm.
+    {
+        let cfg = RealtimeConfig {
+            covariance: paper_covariance_matrix_23(),
+            idft_size: 1024,
+            normalized_doppler: 0.05,
+            sigma_orig_sq: 0.5,
+            seed: 3,
+            precision: Precision::F32,
+        };
+        let mut f32_stream = RealtimeGenerator::new(cfg.clone()).unwrap();
+        let delta = measure(&mut f32_stream, &mut block);
+        assert_eq!(
+            delta, 0,
+            "a warm f32-tier stream allocated {delta} time(s) through next_block_into"
+        );
+
+        let mut native = RealtimeGenerator::new(cfg).unwrap();
+        let mut half = SampleBlock32::empty();
+        for _ in 0..2 {
+            native.next_block32_into(&mut half).unwrap();
+        }
+        let before = allocations();
+        for _ in 0..8 {
+            native.next_block32_into(&mut half).unwrap();
+        }
+        let delta = allocations() - before;
+        assert_eq!(
+            delta, 0,
+            "a warm f32-tier stream allocated {delta} time(s) through next_block32_into"
         );
     }
 
@@ -158,6 +214,7 @@ fn next_block_into_is_allocation_free_after_warmup() {
                 normalized_doppler: 0.05,
                 sigma_orig_sq: 0.5,
             },
+            precision: Precision::from_test_env(),
             ..NetworkSimConfig::default()
         };
         let mut sim = NetworkSim::open(Topology::grid(3, 3, 1.0).unwrap(), &cfg, 1).unwrap();

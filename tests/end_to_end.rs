@@ -117,6 +117,7 @@ fn variance_aware_combination_beats_the_flawed_one() {
         normalized_doppler: 0.05,
         sigma_orig_sq: 0.5,
         seed: 0xE2E5,
+        precision: corrfade::Precision::F64,
     })
     .unwrap();
     let block = proposed.generate_blocks(20);

@@ -21,6 +21,7 @@ fn long_envelope(fm: f64, blocks: usize, seed: u64) -> Vec<f64> {
         normalized_doppler: fm,
         sigma_orig_sq: 0.5,
         seed,
+        precision: corrfade::Precision::F64,
     })
     .unwrap();
     let block = gen.generate_blocks(blocks);

@@ -120,6 +120,44 @@ fn pool_choice_cannot_influence_the_blocks() {
 }
 
 #[test]
+fn precision_tier_is_fleet_invariant() {
+    // The CI precision matrix re-runs this binary under
+    // CORRFADE_TEST_PRECISION=f32: a fleet of tier-overridden scenarios must
+    // stay bit-identical to standalone streams of the same tier (both sides
+    // share precision + backend + RNG stream, so the comparison is exact in
+    // either tier).
+    use corrfade::Precision;
+
+    const MASTER_SEED: u64 = 0x9A7E;
+    let precision = Precision::from_test_env();
+    let names = ["fig4a-spectral", "two-envelope-complex"];
+    let scenarios: Vec<&'static corrfade_scenarios::Scenario> = names
+        .iter()
+        .map(|name| &*Box::leak(Box::new(lookup(name).unwrap().with_precision(precision))))
+        .collect();
+
+    let mut fleet = StreamFleet::open_scenarios(&scenarios, MASTER_SEED).unwrap();
+    let mut block = SampleBlock::empty();
+    for round in 0..2 {
+        fleet.advance().unwrap();
+        for (i, scenario) in scenarios.iter().enumerate() {
+            let mut standalone = scenario
+                .build_realtime(stream_seed(MASTER_SEED, i))
+                .unwrap();
+            for _ in 0..=round {
+                standalone.next_block_into(&mut block).unwrap();
+            }
+            assert_eq!(
+                fleet.block(i).as_slice(),
+                block.as_slice(),
+                "stream {i} ({precision}) diverged from standalone generation \
+                 in advance {round}"
+            );
+        }
+    }
+}
+
+#[test]
 fn shared_covariance_specs_hit_the_decomposition_cache() {
     // Two streams of the same scenario share one decomposition: opening the
     // duplicate must be answered from the cache. The counters are

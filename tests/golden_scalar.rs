@@ -90,6 +90,8 @@ fn scalar_backend_reproduces_pre_kernel_golden_outputs() {
         normalized_doppler: 0.05,
         sigma_orig_sq: 0.5,
         seed: 0xBEEF,
+        // Golden constants are the f64 reference tier by definition.
+        precision: corrfade::Precision::F64,
     };
     let mut rt = RealtimeGenerator::new(cfg).unwrap();
     let mut block = SampleBlock::empty();
@@ -136,6 +138,8 @@ fn scalar_backend_reproduces_pre_kernel_golden_outputs() {
         normalized_doppler: 0.05,
         sigma_orig_sq: 0.5,
         seed: 0xBEEF,
+        // Golden constants are the f64 reference tier by definition.
+        precision: corrfade::Precision::F64,
     };
     let mut rt_cached =
         RealtimeGenerator::from_coloring(corrfade::Coloring::clone(&second), cfg_cached).unwrap();
