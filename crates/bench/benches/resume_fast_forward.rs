@@ -1,0 +1,54 @@
+//! Bench: resume fast-forward vs. full regeneration.
+//!
+//! A v2 resume subscription replays only the RNG draws of the skipped
+//! blocks ([`RealtimeGenerator::skip_blocks`]) instead of running the IDFT
+//! and coloring transform for each — the server-side cost of fast-forwarding
+//! a fresh subscription to a client's cursor. This group measures the
+//! advantage directly:
+//!
+//! * `serve/resume_fast_forward/generate_64` — 64 blocks produced in full,
+//!   the cost a resume would pay without the skip path.
+//! * `serve/resume_fast_forward/skip_64` — the same 64 blocks fast-forwarded.
+//!
+//! Both advance a long-lived stream (per-block cost is state-independent),
+//! so the ratio is the pure per-block saving. Throughput is blocks per
+//! second.
+
+use corrfade::{ChannelStream, SampleBlock};
+use corrfade_scenarios::lookup;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+const SCENARIO: &str = "two-envelope-complex";
+const SEED: u64 = 7;
+const BLOCKS: u64 = 64;
+
+fn fresh_stream() -> corrfade::RealtimeGenerator {
+    lookup(SCENARIO)
+        .expect("bench scenario exists")
+        .build_realtime(SEED)
+        .expect("bench scenario builds")
+}
+
+fn bench_resume_fast_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve/resume_fast_forward");
+    group.throughput(Throughput::Elements(BLOCKS));
+    group.sample_size(10);
+
+    let mut generated = fresh_stream();
+    let mut block = SampleBlock::empty();
+    group.bench_function("generate_64", |b| {
+        b.iter(|| {
+            for _ in 0..BLOCKS {
+                generated.next_block_into(&mut block).unwrap();
+            }
+        })
+    });
+
+    let mut skipped = fresh_stream();
+    group.bench_function("skip_64", |b| b.iter(|| skipped.skip_blocks(BLOCKS)));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_resume_fast_forward);
+criterion_main!(benches);

@@ -331,6 +331,28 @@ impl RealtimeGenerator {
         Ok(())
     }
 
+    /// Fast-forwards the stream past `blocks` blocks without generating
+    /// them: only the RNG draws of each skipped block are replayed
+    /// ([`IdftRayleighGenerator::skip_spectrum`], once per envelope per
+    /// block) — the IDFT, the coloring matvec and every output write are
+    /// skipped entirely. Afterwards the generator's next block is
+    /// **bit-identical** to the `blocks + 1`-th block of an untouched
+    /// stream, in both precision tiers (the f32 tier shares the f64 RNG
+    /// stream by construction).
+    ///
+    /// This is the serving layer's resume primitive: a client reconnecting
+    /// with a block cursor gets a fresh generator (decomposition from the
+    /// process-wide cache) fast-forwarded to its cursor at a fraction of
+    /// the cost of regenerating the blocks it already holds.
+    pub fn skip_blocks(&mut self, blocks: u64) {
+        let n = self.coloring.dimension();
+        for _ in 0..blocks {
+            for _ in 0..n {
+                self.idft.skip_spectrum(&mut self.rng);
+            }
+        }
+    }
+
     /// Generates one block of `M` consecutive time samples of all `N`
     /// correlated fading processes.
     ///
@@ -551,6 +573,56 @@ mod tests {
             }
             offset += m;
         }
+    }
+
+    #[test]
+    fn skip_blocks_is_bit_identical_to_generating_them() {
+        let k = paper_covariance_matrix_22();
+        let mut continuous = RealtimeGenerator::new(small_config(k.clone(), 123)).unwrap();
+        let mut block = SampleBlock::empty();
+        for _ in 0..4 {
+            continuous.next_block_into(&mut block).unwrap();
+        }
+        let expected: Vec<u64> = block
+            .as_slice()
+            .iter()
+            .flat_map(|z| [z.re.to_bits(), z.im.to_bits()])
+            .collect();
+
+        // Skip 3, generate the 4th: must be the continuous 4th block.
+        let mut resumed = RealtimeGenerator::new(small_config(k.clone(), 123)).unwrap();
+        resumed.skip_blocks(3);
+        let mut got = SampleBlock::empty();
+        resumed.next_block_into(&mut got).unwrap();
+        let got_bits: Vec<u64> = got
+            .as_slice()
+            .iter()
+            .flat_map(|z| [z.re.to_bits(), z.im.to_bits()])
+            .collect();
+        assert_eq!(got_bits, expected);
+
+        // The f32 tier shares the RNG stream, so the same contract holds.
+        let f32_cfg = RealtimeConfig {
+            precision: Precision::F32,
+            ..small_config(k.clone(), 123)
+        };
+        let mut continuous32 = RealtimeGenerator::new(f32_cfg.clone()).unwrap();
+        for _ in 0..4 {
+            continuous32.next_block_into(&mut block).unwrap();
+        }
+        let mut resumed32 = RealtimeGenerator::new(f32_cfg).unwrap();
+        resumed32.skip_blocks(3);
+        resumed32.next_block_into(&mut got).unwrap();
+        assert_eq!(got.as_slice(), block.as_slice());
+
+        // skip_blocks(0) is a no-op.
+        let mut untouched = RealtimeGenerator::new(small_config(k.clone(), 9)).unwrap();
+        let mut noop = RealtimeGenerator::new(small_config(k, 9)).unwrap();
+        noop.skip_blocks(0);
+        assert_eq!(
+            untouched.generate_block().gaussian_paths,
+            noop.generate_block().gaussian_paths
+        );
     }
 
     #[test]

@@ -269,6 +269,28 @@ impl IdftRayleighGenerator {
         }
     }
 
+    /// Consumes exactly the RNG draws of one
+    /// [`IdftRayleighGenerator::fill_spectrum_into`] call **without**
+    /// producing a spectrum — the fast-forward primitive behind stream
+    /// resume (`RealtimeGenerator::skip_blocks`): advancing a stream past
+    /// blocks a reconnecting client already holds only needs the RNG state
+    /// moved, not the transform or coloring work.
+    ///
+    /// The draw pattern must stay bit-for-bit identical to
+    /// `fill_spectrum_into`: a fresh [`corrfade_randn::NormalSampler`] per
+    /// call (the pair cache never crosses spectra) and two `N(0, σ_orig)`
+    /// samples per bin, in bin order. The polar method's rejection count
+    /// depends only on the RNG output sequence, so replaying the draws
+    /// replays the consumption exactly.
+    pub fn skip_spectrum<R: Rng + ?Sized>(&self, rng: &mut R) {
+        let std = self.sigma_orig_sq.sqrt();
+        let mut sampler = corrfade_randn::NormalSampler::default();
+        for _ in 0..self.filter.len() {
+            let _ = sampler.sample_with(rng, 0.0, std);
+            let _ = sampler.sample_with(rng, 0.0, std);
+        }
+    }
+
     /// [`IdftRayleighGenerator::fill_spectrum_into`] narrowed to the f32
     /// fast tier: the Gaussians are drawn **in `f64` from the identical RNG
     /// stream** (same draw count and order, so a stream can switch
@@ -492,6 +514,36 @@ mod tests {
         gen.fill_spectrum_into(&mut r1, &mut wide);
         gen.fill_spectrum32_into(&mut r2, &mut narrow);
         assert_eq!(r1.next_u64(), r2.next_u64());
+    }
+
+    #[test]
+    fn skip_spectrum_consumes_exactly_one_fill_of_rng() {
+        // Fast-forward contract: skipping then filling must land on the same
+        // RNG state (and therefore the same bits) as filling twice.
+        let f = DopplerFilter::new(1024, 0.05).unwrap();
+        let gen = IdftRayleighGenerator::new(f, 0.5).unwrap();
+
+        let mut reference_rng = RandomStream::new(33);
+        let mut first = vec![Complex64::ZERO; 1024];
+        let mut second = vec![Complex64::ZERO; 1024];
+        gen.fill_spectrum_into(&mut reference_rng, &mut first);
+        gen.fill_spectrum_into(&mut reference_rng, &mut second);
+
+        let mut skipping_rng = RandomStream::new(33);
+        gen.skip_spectrum(&mut skipping_rng);
+        let mut resumed = vec![Complex64::ZERO; 1024];
+        gen.fill_spectrum_into(&mut skipping_rng, &mut resumed);
+
+        for (a, b) in second.iter().zip(resumed.iter()) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits());
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+        let bits = |v: &[Complex64]| -> Vec<u64> { v.iter().map(|z| z.re.to_bits()).collect() };
+        assert_ne!(
+            bits(&first),
+            bits(&second),
+            "consecutive spectra must differ for the test to mean anything"
+        );
     }
 
     #[test]

@@ -420,6 +420,35 @@ impl StreamFleet {
         self.active_subscribers
     }
 
+    /// Fast-forwards subscriber `key` past `blocks` blocks without
+    /// generating them — the serving layer's **resume** path. Only the RNG
+    /// draws of the skipped blocks are replayed
+    /// ([`RealtimeGenerator::skip_blocks`]); the IDFT/coloring kernels and
+    /// all output writes are skipped, so catching a reconnected client up
+    /// to its block cursor costs a fraction of regeneration. Afterwards
+    /// [`StreamFleet::advance_subscriber_with`] produces the
+    /// `blocks + 1`-th block of the uninterrupted stream, bit for bit.
+    ///
+    /// Takes `&self` like the advance path: the slot mutex serializes the
+    /// skip against concurrent advances of the same subscriber.
+    ///
+    /// # Errors
+    /// [`ParallelError::UnknownStream`] when the key is stale.
+    pub fn skip_subscriber_blocks(&self, key: StreamKey, blocks: u64) -> Result<(), ParallelError> {
+        let Some(slot) = self.subscribers.get(key.index) else {
+            return Err(ParallelError::UnknownStream { index: key.index });
+        };
+        let mut slot = lock_subscriber(slot);
+        if slot.generation != key.generation {
+            return Err(ParallelError::UnknownStream { index: key.index });
+        }
+        let Some(FleetSlot { stream, .. }) = slot.live.as_mut() else {
+            return Err(ParallelError::UnknownStream { index: key.index });
+        };
+        stream.skip_blocks(blocks);
+        Ok(())
+    }
+
     /// Generates subscriber `key`'s next block into its pooled block and
     /// hands the freshly written block to `f` (typically a wire encoder)
     /// while the slot lock is held — the zero-copy read path.
@@ -542,6 +571,36 @@ mod tests {
         fleet.advance_subscriber_with(c, |_| ()).unwrap();
         fleet.advance_subscriber_with(a, |_| ()).unwrap();
         assert_eq!(fleet.subscriber_count(), 2);
+    }
+
+    #[test]
+    fn skipped_subscribers_resume_bit_identically() {
+        use corrfade::ChannelStream;
+
+        // The resume contract end to end through the fleet: skip k blocks,
+        // then advance — the produced block is the standalone stream's
+        // (k+1)-th block, bit for bit.
+        let mut fleet = StreamFleet::open(&[], 0).unwrap();
+        let scenario = lookup("two-envelope-complex").unwrap();
+        let key = fleet.subscribe(scenario, 77).unwrap();
+        fleet.skip_subscriber_blocks(key, 3).unwrap();
+
+        let mut reference = scenario.build_realtime(77).unwrap();
+        let mut expected = SampleBlock::empty();
+        for _ in 0..4 {
+            reference.next_block_into(&mut expected).unwrap();
+        }
+        let matches = fleet
+            .advance_subscriber_with(key, |block| block == &expected)
+            .unwrap();
+        assert!(matches, "resumed subscriber diverged from block 4");
+
+        // Stale keys are typed errors on the skip path too.
+        fleet.unsubscribe(key);
+        assert!(matches!(
+            fleet.skip_subscriber_blocks(key, 1),
+            Err(ParallelError::UnknownStream { .. })
+        ));
     }
 
     #[test]

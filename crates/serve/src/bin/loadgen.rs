@@ -26,7 +26,7 @@ use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 use corrfade::SampleBlock;
-use corrfade_serve::{Client, ServeAddr, Server, ServerConfig};
+use corrfade_serve::{Client, RetryPolicy, ServeAddr, Server, ServerConfig};
 
 /// Parsed command line.
 struct Args {
@@ -140,21 +140,12 @@ struct SessionResult {
 }
 
 /// Connects with retry: the listener backlog (128) is far smaller than the
-/// session count, so early connects race the accept loop and must back off.
+/// session count, so early connects race the accept loop and must back
+/// off. Uses the public [`Client::connect_with_retry`] policy (jittered
+/// backoff), sized to the `--timeout-secs` budget.
 fn connect_with_retry(addr: &ServeAddr, timeout: Duration) -> Result<Client, String> {
-    let deadline = Instant::now() + timeout;
-    let mut backoff = Duration::from_millis(1);
-    loop {
-        match Client::connect_timeout(addr, timeout) {
-            Ok(client) => return Ok(client),
-            Err(e) if Instant::now() + backoff < deadline => {
-                let _ = e;
-                std::thread::sleep(backoff);
-                backoff = (backoff * 2).min(Duration::from_millis(50));
-            }
-            Err(e) => return Err(format!("connect to {addr}: {e}")),
-        }
-    }
+    Client::connect_with_retry(addr, &RetryPolicy::within(timeout))
+        .map_err(|e| format!("connect to {addr}: {e}"))
 }
 
 fn run_session(

@@ -18,6 +18,7 @@ use crate::protocol::{
     decode_block_payload, decode_frame_payload, encode_request, tag, Frame, ProtocolError, Request,
     MAX_FRAME_LEN,
 };
+use crate::retry::{Backoff, RetryPolicy};
 
 /// Shape echo the server sends before the first block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,6 +64,32 @@ impl Client {
         })
     }
 
+    /// Connects with retries under `policy`: exponential backoff with
+    /// jitter between attempts, giving up with a typed
+    /// [`ServeError::RetriesExhausted`] once the attempt budget is spent.
+    /// What a client racing a server restart — or a loadgen racing the
+    /// accept backlog — uses instead of hand-rolling a retry loop.
+    ///
+    /// # Errors
+    /// [`ServeError::RetriesExhausted`] wrapping the final attempt's error.
+    pub fn connect_with_retry(addr: &ServeAddr, policy: &RetryPolicy) -> Result<Self, ServeError> {
+        let mut backoff = Backoff::new(policy);
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            match Self::connect_timeout(addr, policy.io_timeout) {
+                Ok(client) => return Ok(client),
+                Err(e) if attempts >= policy.max_attempts => {
+                    return Err(ServeError::RetriesExhausted {
+                        attempts,
+                        last: Box::new(e),
+                    });
+                }
+                Err(_) => backoff.sleep(),
+            }
+        }
+    }
+
     /// Sends the request and reads the stream header. Must be called once,
     /// before the first [`Client::next_block_into`].
     ///
@@ -77,10 +104,30 @@ impl Client {
         seed: u64,
         blocks: u32,
     ) -> Result<StreamHeader, ServeError> {
+        self.subscribe_at(scenario, seed, blocks, 0)
+    }
+
+    /// [`Client::subscribe`] starting at a block cursor: a non-zero
+    /// `cursor` sends a **v2 resume request**, making the server
+    /// fast-forward the `(scenario, seed)` stream so the delivered blocks
+    /// are `cursor..cursor + blocks` of the uninterrupted stream,
+    /// bit-identically. Cursor `0` is a plain v1 subscribe.
+    ///
+    /// # Errors
+    /// As [`Client::subscribe`]; additionally the server rejects cursors
+    /// whose span would overflow the `u32` wire block-index space.
+    pub fn subscribe_at(
+        &mut self,
+        scenario: &str,
+        seed: u64,
+        blocks: u32,
+        cursor: u64,
+    ) -> Result<StreamHeader, ServeError> {
         let request = Request {
             scenario: scenario.to_string(),
             seed,
             blocks,
+            cursor,
         };
         self.frame.clear();
         encode_request(&request, &mut self.frame);

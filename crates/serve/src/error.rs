@@ -36,6 +36,14 @@ pub enum ServeError {
     /// The shared fleet rejected an operation (stale stream key, scenario
     /// build failure, …).
     Fleet(corrfade_parallel::ParallelError),
+    /// A retrying operation (connect-with-retry, resuming stream) exhausted
+    /// its attempt budget; `last` is the error of the final attempt.
+    RetriesExhausted {
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// The error the final attempt failed with.
+        last: Box<ServeError>,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -54,6 +62,9 @@ impl fmt::Display for ServeError {
                 write!(f, "connection closed during {during}")
             }
             ServeError::Fleet(e) => write!(f, "fleet error: {e}"),
+            ServeError::RetriesExhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempt(s); last error: {last}")
+            }
         }
     }
 }
@@ -64,6 +75,7 @@ impl std::error::Error for ServeError {
             ServeError::Io(e) => Some(e),
             ServeError::Protocol(e) => Some(e),
             ServeError::Fleet(e) => Some(e),
+            ServeError::RetriesExhausted { last, .. } => Some(last.as_ref()),
             ServeError::Server { .. }
             | ServeError::UnexpectedFrame { .. }
             | ServeError::ConnectionClosed { .. } => None,

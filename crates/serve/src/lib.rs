@@ -15,6 +15,15 @@
 //!   steady-state send path. Graceful shutdown joins every thread.
 //! * [`client`] — [`Client`]: blocking consumer that decodes frames
 //!   straight into a caller-owned [`SampleBlock`](corrfade::SampleBlock).
+//! * [`retry`] — fault tolerance: [`RetryPolicy`] (jittered exponential
+//!   backoff) behind [`Client::connect_with_retry`], and
+//!   [`ResumingStream`], which reconnects and **resumes at its block
+//!   cursor** (wire v2) across timeouts, EOFs and resets, delivering a
+//!   gapless bit-exact stream.
+//! * [`chaos`] — deterministic fault injection: [`ChaosProxy`] forwards a
+//!   connection while injecting seeded partial writes, stalls, truncations
+//!   and disconnects, so the chaos test suite can prove resume
+//!   bit-exactness under fire.
 //! * [`net`] — the TCP/Unix-socket transport abstraction ([`ServeAddr`]).
 //!
 //! Delivered samples are **bit-identical** (`f64::to_bits`) to what the
@@ -45,14 +54,18 @@
 //! server.shutdown().unwrap();
 //! ```
 
+pub mod chaos;
 pub mod client;
 pub mod error;
 pub mod net;
 pub mod protocol;
+pub mod retry;
 pub mod server;
 
+pub use chaos::{ChaosProxy, ChaosSchedule};
 pub use client::{Client, StreamHeader};
 pub use error::ServeError;
-pub use net::{Conn, ServeAddr};
+pub use net::{is_timeout, Conn, ServeAddr};
 pub use protocol::{Frame, ProtocolError, Request};
+pub use retry::{is_resumable, ResumingStream, RetryPolicy};
 pub use server::{Server, ServerConfig, ServerStats};

@@ -14,6 +14,19 @@ use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::time::Duration;
 
+/// Whether an I/O error is a socket **read/write timeout**. Which kind a
+/// timed-out socket operation yields is platform-dependent — Unix sockets
+/// report `WouldBlock`, TCP on some platforms reports `TimedOut` — so every
+/// retry/idle decision in the client and server goes through this one
+/// predicate instead of matching either kind directly.
+#[must_use]
+pub fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
 /// Where a server listens (or a client connects): a TCP socket address or a
 /// Unix-domain socket path.
 #[derive(Debug, Clone, PartialEq, Eq)]

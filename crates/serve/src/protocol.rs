@@ -10,15 +10,29 @@
 //!
 //! ## Request (client → server, exactly once)
 //!
+//! Two negotiated versions share the fixed 20-byte prefix; the version
+//! field selects the layout of what follows:
+//!
 //! ```text
 //! offset  size  field
 //! 0       4     magic  = "CFDS"
-//! 4       2     version = 1                 (u16 LE)
+//! 4       2     version = 1 or 2            (u16 LE)
 //! 6       2     scenario name length        (u16 LE, 1..=64)
 //! 8       8     RNG seed                    (u64 LE)
 //! 16      4     requested block count       (u32 LE)
+//! --- version 1 ---
 //! 20      n     scenario name               (UTF-8, registry name)
+//! --- version 2 (resume) ---
+//! 20      8     block cursor                (u64 LE)
+//! 28      n     scenario name               (UTF-8, registry name)
 //! ```
+//!
+//! A v2 request is a **resume**: the server fast-forwards a fresh
+//! `(scenario, seed)` stream past `cursor` blocks (replaying only the RNG
+//! draws — no generation work) and then streams `blocks` blocks with wire
+//! indices `cursor..cursor + blocks`, bit-identical to the corresponding
+//! span of the uninterrupted stream. A v1 request is exactly a v2 request
+//! with cursor 0; v1 clients keep working unchanged.
 //!
 //! ## Response frames (server → client)
 //!
@@ -48,11 +62,25 @@ use corrfade::SampleBlock;
 /// The 4-byte connection preamble every request starts with.
 pub const MAGIC: [u8; 4] = *b"CFDS";
 
-/// Protocol version this build speaks.
-pub const VERSION: u16 = 1;
+/// The original protocol version: fixed-start streams only.
+pub const VERSION_V1: u16 = 1;
 
-/// Fixed byte length of the request before the scenario name.
+/// The resume-capable protocol version: the request carries a block
+/// cursor (fast-forward on the server) and the server may answer a
+/// [`code::BUSY`] error frame under admission control.
+pub const VERSION_V2: u16 = 2;
+
+/// Baseline protocol version (compatibility alias for [`VERSION_V1`]).
+pub const VERSION: u16 = VERSION_V1;
+
+/// Fixed byte length of the version-independent request prefix (v1
+/// requests carry the scenario name immediately after it; v2 requests
+/// insert [`REQUEST_CURSOR_LEN`] cursor bytes in between).
 pub const REQUEST_HEADER_LEN: usize = 20;
+
+/// Byte length of the v2 block-cursor field that follows the fixed
+/// request prefix.
+pub const REQUEST_CURSOR_LEN: usize = 8;
 
 /// Longest accepted scenario name on the wire.
 pub const MAX_NAME_LEN: usize = 64;
@@ -96,8 +124,12 @@ pub mod code {
     /// The server is shutting down and stopped the stream early.
     pub const SERVER_SHUTDOWN: u16 = 10;
     /// The request asked for a sample precision the protocol version cannot
-    /// stream (the f32 fast tier is reserved for wire v2).
+    /// stream (the f32 fast tier is reserved for a future wire revision).
     pub const PRECISION_UNSUPPORTED: u16 = 11;
+    /// The server is at its configured session capacity and declined the
+    /// request; retry with backoff. (Wire v2; a v1-era client sees it as an
+    /// ordinary typed error frame.)
+    pub const BUSY: u16 = 12;
 }
 
 /// Request-header flag (bit 15 of the name-length field, which
@@ -185,6 +217,14 @@ pub enum ProtocolError {
     },
     /// The server is shutting down and ended the stream early.
     ServerShutdown,
+    /// The server is at its configured session capacity (admission
+    /// control); the client should back off and retry.
+    Busy {
+        /// Sessions currently being served.
+        active: u64,
+        /// The configured session cap.
+        max: u64,
+    },
 }
 
 impl ProtocolError {
@@ -203,7 +243,19 @@ impl ProtocolError {
             ProtocolError::FrameSizeMismatch { .. } => code::FRAME_SIZE_MISMATCH,
             ProtocolError::PrecisionUnsupported { .. } => code::PRECISION_UNSUPPORTED,
             ProtocolError::ServerShutdown => code::SERVER_SHUTDOWN,
+            ProtocolError::Busy { .. } => code::BUSY,
         }
+    }
+
+    /// Whether a client that received this error frame should retry the
+    /// request (with backoff) rather than give up: capacity and shutdown
+    /// refusals are transient, everything else is a peer bug.
+    #[must_use]
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ProtocolError::Busy { .. } | ProtocolError::ServerShutdown
+        )
     }
 }
 
@@ -215,7 +267,8 @@ impl core::fmt::Display for ProtocolError {
             }
             ProtocolError::UnsupportedVersion { got, supported } => write!(
                 f,
-                "unsupported protocol version {got} (this server speaks version {supported})"
+                "unsupported protocol version {got} (this server speaks versions \
+                 {VERSION_V1}..={supported})"
             ),
             ProtocolError::Truncated { what, needed, got } => {
                 write!(f, "truncated {what}: needed {needed} byte(s), got {got}")
@@ -254,6 +307,10 @@ impl core::fmt::Display for ProtocolError {
             ProtocolError::ServerShutdown => {
                 write!(f, "server is shutting down; stream ended early")
             }
+            ProtocolError::Busy { active, max } => write!(
+                f,
+                "server is at capacity ({active}/{max} sessions); retry with backoff"
+            ),
         }
     }
 }
@@ -270,6 +327,48 @@ pub struct Request {
     pub seed: u64,
     /// Number of blocks the client wants streamed.
     pub blocks: u32,
+    /// Resume cursor: the zero-based index of the first block to stream.
+    /// `0` is a fresh stream (encoded as wire v1 for compatibility); a
+    /// non-zero cursor makes the server fast-forward the `(scenario,
+    /// seed)` stream past that many blocks before sending, so the
+    /// delivered blocks are bit-identical to `cursor..cursor + blocks` of
+    /// the uninterrupted stream.
+    pub cursor: u64,
+}
+
+/// The validated fixed-size request prefix, as returned by
+/// [`decode_request_header`]: the server reads [`REQUEST_HEADER_LEN`]
+/// bytes, decodes this, then reads [`RequestHead::trailing_len`] more
+/// (cursor, when v2, followed by the scenario name).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestHead {
+    /// Negotiated wire version ([`VERSION_V1`] or [`VERSION_V2`]).
+    pub version: u16,
+    /// RNG seed of the stream.
+    pub seed: u64,
+    /// Requested block count.
+    pub blocks: u32,
+    /// Declared scenario-name byte length (validated `1..=MAX_NAME_LEN`).
+    pub name_len: usize,
+}
+
+impl RequestHead {
+    /// Bytes of cursor field following the prefix: [`REQUEST_CURSOR_LEN`]
+    /// for a v2 request, zero for v1.
+    #[must_use]
+    pub fn cursor_len(&self) -> usize {
+        if self.version >= VERSION_V2 {
+            REQUEST_CURSOR_LEN
+        } else {
+            0
+        }
+    }
+
+    /// Total bytes that follow the fixed prefix (cursor + name).
+    #[must_use]
+    pub fn trailing_len(&self) -> usize {
+        self.cursor_len() + self.name_len
+    }
 }
 
 /// A fully decoded response frame — the owned, test-friendly view. Hot
@@ -320,7 +419,9 @@ fn u64_at(buf: &[u8], at: usize) -> u64 {
     u64::from_le_bytes(buf[at..at + 8].try_into().expect("slice is 8 bytes"))
 }
 
-/// Appends the wire encoding of a request to `buf`.
+/// Appends the wire encoding of a request to `buf`. A request with cursor
+/// `0` encodes as wire v1 — byte-identical to what a pre-resume client
+/// sends — and a non-zero cursor selects the v2 layout.
 pub fn encode_request(request: &Request, buf: &mut Vec<u8>) {
     encode_request_with_flags(request, 0, buf);
 }
@@ -330,24 +431,46 @@ pub fn encode_request(request: &Request, buf: &mut Vec<u8>) {
 /// forward-looking client — or the lifecycle test pinning the v1 guard —
 /// uses to ask for a fast-tier stream.
 pub fn encode_request_with_flags(request: &Request, flags: u16, buf: &mut Vec<u8>) {
+    let version = if request.cursor == 0 {
+        VERSION_V1
+    } else {
+        VERSION_V2
+    };
+    encode_request_versioned(request, flags, version, buf);
+}
+
+/// Encodes a request in an explicitly chosen wire version — what the
+/// property tests use to pin the v2 layout even for cursor `0`.
+///
+/// # Panics
+/// When asked to encode a non-zero cursor in the v1 layout, which cannot
+/// carry one.
+pub fn encode_request_versioned(request: &Request, flags: u16, version: u16, buf: &mut Vec<u8>) {
+    assert!(
+        version >= VERSION_V2 || request.cursor == 0,
+        "wire v1 cannot carry a resume cursor"
+    );
     buf.extend_from_slice(&MAGIC);
-    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&version.to_le_bytes());
     let name_len = u16::try_from(request.scenario.len()).unwrap_or(u16::MAX);
     buf.extend_from_slice(&(name_len | flags).to_le_bytes());
     buf.extend_from_slice(&request.seed.to_le_bytes());
     buf.extend_from_slice(&request.blocks.to_le_bytes());
+    if version >= VERSION_V2 {
+        buf.extend_from_slice(&request.cursor.to_le_bytes());
+    }
     buf.extend_from_slice(request.scenario.as_bytes());
 }
 
-/// Validates the fixed-size request prefix and returns
-/// `(seed, blocks, name_len)` — the server reads exactly
-/// [`REQUEST_HEADER_LEN`] bytes, calls this, then reads `name_len` more.
+/// Validates the fixed-size request prefix and returns the decoded
+/// [`RequestHead`] — the server reads exactly [`REQUEST_HEADER_LEN`]
+/// bytes, calls this, then reads [`RequestHead::trailing_len`] more.
 ///
 /// # Errors
-/// [`ProtocolError`] on short input, wrong magic/version, a set precision
-/// flag ([`FLAG_F32_STREAM`] — v1 streams `f64` only), or a name length
-/// outside `1..=`[`MAX_NAME_LEN`].
-pub fn decode_request_header(buf: &[u8]) -> Result<(u64, u32, usize), ProtocolError> {
+/// [`ProtocolError`] on short input, wrong magic, a version outside
+/// `1..=2`, a set precision flag ([`FLAG_F32_STREAM`] — the wire streams
+/// `f64` only), or a name length outside `1..=`[`MAX_NAME_LEN`].
+pub fn decode_request_header(buf: &[u8]) -> Result<RequestHead, ProtocolError> {
     if buf.len() < REQUEST_HEADER_LEN {
         return Err(ProtocolError::Truncated {
             what: "request header",
@@ -360,10 +483,10 @@ pub fn decode_request_header(buf: &[u8]) -> Result<(u64, u32, usize), ProtocolEr
         return Err(ProtocolError::BadMagic { got });
     }
     let version = u16_at(buf, 4);
-    if version != VERSION {
+    if !(VERSION_V1..=VERSION_V2).contains(&version) {
         return Err(ProtocolError::UnsupportedVersion {
             got: version,
-            supported: VERSION,
+            supported: VERSION_V2,
         });
     }
     // Bit 15 of the name-length field carries the (v2-reserved) precision
@@ -387,18 +510,57 @@ pub fn decode_request_header(buf: &[u8]) -> Result<(u64, u32, usize), ProtocolEr
             max: MAX_NAME_LEN,
         });
     }
-    Ok((u64_at(buf, 8), u32_at(buf, 16), name_len))
+    Ok(RequestHead {
+        version,
+        seed: u64_at(buf, 8),
+        blocks: u32_at(buf, 16),
+        name_len,
+    })
 }
 
-/// Decodes a complete request (header + name) from one buffer — the
-/// single-shot counterpart of [`decode_request_header`] used by tests and
-/// by servers that read the whole request at once.
+/// Decodes and validates a v2 resume cursor from the bytes that follow
+/// the request prefix, checking that `cursor + blocks` stays within the
+/// `u32` wire block-index space (block frames carry `u32` indices).
+///
+/// # Errors
+/// [`ProtocolError::Truncated`] on short input,
+/// [`ProtocolError::Oversized`] when the resumed span would overflow the
+/// wire index space.
+pub fn decode_request_cursor(bytes: &[u8], blocks: u32) -> Result<u64, ProtocolError> {
+    if bytes.len() < REQUEST_CURSOR_LEN {
+        return Err(ProtocolError::Truncated {
+            what: "resume cursor",
+            needed: REQUEST_CURSOR_LEN,
+            got: bytes.len(),
+        });
+    }
+    let cursor = u64_at(bytes, 0);
+    match cursor.checked_add(u64::from(blocks)) {
+        Some(end) if end <= u64::from(u32::MAX) => Ok(cursor),
+        _ => Err(ProtocolError::Oversized {
+            what: "resume cursor",
+            len: usize::try_from(cursor).unwrap_or(usize::MAX),
+            max: u32::MAX as usize,
+        }),
+    }
+}
+
+/// Decodes a complete request (header + cursor + name) from one buffer —
+/// the single-shot counterpart of [`decode_request_header`] used by tests
+/// and by servers that read the whole request at once.
 ///
 /// # Errors
 /// [`ProtocolError`] on any malformed input; never panics.
 pub fn decode_request(buf: &[u8]) -> Result<Request, ProtocolError> {
-    let (seed, blocks, name_len) = decode_request_header(buf)?;
-    let end = REQUEST_HEADER_LEN + name_len;
+    let head = decode_request_header(buf)?;
+    let rest = buf.get(REQUEST_HEADER_LEN..).unwrap_or(&[]);
+    let cursor = if head.cursor_len() == 0 {
+        0
+    } else {
+        decode_request_cursor(rest, head.blocks)?
+    };
+    let name_at = REQUEST_HEADER_LEN + head.cursor_len();
+    let end = name_at + head.name_len;
     if buf.len() < end {
         return Err(ProtocolError::Truncated {
             what: "scenario name",
@@ -406,15 +568,15 @@ pub fn decode_request(buf: &[u8]) -> Result<Request, ProtocolError> {
             got: buf.len(),
         });
     }
-    let name = core::str::from_utf8(&buf[REQUEST_HEADER_LEN..end]).map_err(|_| {
-        ProtocolError::BadScenarioName {
+    let name =
+        core::str::from_utf8(&buf[name_at..end]).map_err(|_| ProtocolError::BadScenarioName {
             reason: "scenario name is not valid UTF-8",
-        }
-    })?;
+        })?;
     Ok(Request {
         scenario: name.to_string(),
-        seed,
-        blocks,
+        seed: head.seed,
+        blocks: head.blocks,
+        cursor,
     })
 }
 
@@ -656,11 +818,74 @@ mod tests {
             scenario: "fig4a-spectral".into(),
             seed: 0xDEAD_BEEF_0BAD_F00D,
             blocks: 17,
+            cursor: 0,
         };
         let mut wire = Vec::new();
         encode_request(&request, &mut wire);
         assert_eq!(wire.len(), REQUEST_HEADER_LEN + 14);
+        // Cursor 0 encodes as wire v1, byte-stable with pre-resume clients.
+        assert_eq!(u16_at(&wire, 4), VERSION_V1);
         assert_eq!(decode_request(&wire).unwrap(), request);
+    }
+
+    #[test]
+    fn resume_request_round_trips_as_v2() {
+        let request = Request {
+            scenario: "fig4a-spectral".into(),
+            seed: 42,
+            blocks: 5,
+            cursor: 1_000,
+        };
+        let mut wire = Vec::new();
+        encode_request(&request, &mut wire);
+        assert_eq!(u16_at(&wire, 4), VERSION_V2);
+        assert_eq!(wire.len(), REQUEST_HEADER_LEN + REQUEST_CURSOR_LEN + 14);
+        assert_eq!(decode_request(&wire).unwrap(), request);
+
+        // The explicit-version encoder pins the v2 layout for cursor 0 too,
+        // and both decoders agree on it.
+        let fresh = Request {
+            cursor: 0,
+            ..request
+        };
+        let mut v2 = Vec::new();
+        encode_request_versioned(&fresh, 0, VERSION_V2, &mut v2);
+        assert_eq!(u16_at(&v2, 4), VERSION_V2);
+        assert_eq!(decode_request(&v2).unwrap(), fresh);
+        let head = decode_request_header(&v2).unwrap();
+        assert_eq!(head.cursor_len(), REQUEST_CURSOR_LEN);
+        assert_eq!(head.trailing_len(), REQUEST_CURSOR_LEN + 14);
+    }
+
+    #[test]
+    fn hostile_cursors_are_rejected_not_wrapped() {
+        // Truncated cursor field.
+        let request = Request {
+            scenario: "x".into(),
+            seed: 1,
+            blocks: 1,
+            cursor: 7,
+        };
+        let mut wire = Vec::new();
+        encode_request(&request, &mut wire);
+        assert!(matches!(
+            decode_request(&wire[..REQUEST_HEADER_LEN + 3]),
+            Err(ProtocolError::Truncated { .. })
+        ));
+
+        // cursor + blocks must stay within the u32 wire index space.
+        assert!(matches!(
+            decode_request_cursor(&u64::MAX.to_le_bytes(), 1),
+            Err(ProtocolError::Oversized { .. })
+        ));
+        assert!(matches!(
+            decode_request_cursor(&(u64::from(u32::MAX)).to_le_bytes(), 1),
+            Err(ProtocolError::Oversized { .. })
+        ));
+        assert_eq!(
+            decode_request_cursor(&(u64::from(u32::MAX) - 1).to_le_bytes(), 1),
+            Ok(u64::from(u32::MAX) - 1)
+        );
     }
 
     #[test]
@@ -671,6 +896,7 @@ mod tests {
                 scenario: "x".into(),
                 seed: 1,
                 blocks: 1,
+                cursor: 0,
             },
             &mut wire,
         );
@@ -688,8 +914,15 @@ mod tests {
             decode_request(&bad_version),
             Err(ProtocolError::UnsupportedVersion {
                 got: 9,
-                supported: VERSION
+                supported: VERSION_V2
             })
+        ));
+
+        let mut zero_version = wire.clone();
+        zero_version[4] = 0;
+        assert!(matches!(
+            decode_request(&zero_version),
+            Err(ProtocolError::UnsupportedVersion { got: 0, .. })
         ));
 
         assert!(matches!(
@@ -800,12 +1033,13 @@ mod tests {
             ProtocolError::PrecisionUnsupported {
                 flags: FLAG_F32_STREAM,
             },
+            ProtocolError::Busy { active: 1, max: 1 },
         ];
         let mut codes: Vec<u16> = variants.iter().map(ProtocolError::code).collect();
         codes.sort_unstable();
         codes.dedup();
         assert_eq!(codes.len(), variants.len(), "duplicate wire codes");
-        assert_eq!(codes, (1..=11).collect::<Vec<_>>());
+        assert_eq!(codes, (1..=12).collect::<Vec<_>>());
     }
 
     #[test]
@@ -814,6 +1048,7 @@ mod tests {
             scenario: "fig4a-spectral".to_string(),
             seed: 7,
             blocks: 2,
+            cursor: 0,
         };
         let mut wire = Vec::new();
         encode_request_with_flags(&request, FLAG_F32_STREAM, &mut wire);

@@ -23,17 +23,25 @@
 //!   drop.
 //! * A client that disappears mid-stream only tears down its own
 //!   subscription; the fleet and every other connection are untouched.
-//! * [`Server::shutdown`] stops accepting, interrupts every in-flight
-//!   connection (streams are shut down, so blocked reads/writes return
-//!   immediately), joins all threads, and removes the Unix socket file.
-//!   In-flight streams end with a `SERVER_SHUTDOWN` error frame when their
-//!   socket is still writable.
+//! * When [`ServerConfig::max_sessions`] is set, a connection beyond the
+//!   cap is answered with a typed `BUSY` error frame (admission control)
+//!   instead of queueing behind the accept backlog; the client's retry
+//!   machinery treats it as transient and backs off.
+//! * A v2 **resume** request (non-zero block cursor) fast-forwards a fresh
+//!   subscription past the cursor — replaying only the RNG draws, skipping
+//!   IDFT/coloring work — so the resumed stream is bit-identical to the
+//!   uninterrupted one from that cursor.
+//! * [`Server::shutdown`] stops accepting, then **drains**: in-flight
+//!   connections get [`ServerConfig::drain_timeout`] to finish their
+//!   current block and send a `SERVER_SHUTDOWN` error frame before any
+//!   still-blocked socket is forcibly interrupted; all threads are joined
+//!   and the Unix socket file is removed.
 
 use std::io::{Read, Write};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use corrfade_parallel::{StreamFleet, StreamKey};
 use corrfade_scenarios::{lookup, ScenarioError};
@@ -41,18 +49,32 @@ use corrfade_scenarios::{lookup, ScenarioError};
 use crate::error::ServeError;
 use crate::net::{Conn, Listener, ServeAddr};
 use crate::protocol::{
-    decode_request_header, decode_request_name, encode_block_frame, encode_end_frame,
-    encode_error_frame, encode_header_frame, ProtocolError, Request, REQUEST_HEADER_LEN,
+    decode_request_cursor, decode_request_header, decode_request_name, encode_block_frame,
+    encode_end_frame, encode_error_frame, encode_header_frame, ProtocolError, Request,
+    REQUEST_HEADER_LEN,
 };
+
+/// Number of distinct wire error codes (plus the unused slot 0) tracked by
+/// the per-code counters: codes `1..=12` index directly into the array.
+pub const ERROR_CODE_SLOTS: usize = 13;
 
 /// Server tuning knobs. `Default` suits tests and local use.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Longest the server waits for a client's request bytes before giving
-    /// the connection up.
+    /// the connection up — the per-connection idle deadline: a client that
+    /// connects and never completes a request is dropped after this long.
     pub read_timeout: Duration,
     /// Longest one frame write may block on a slow consumer.
     pub write_timeout: Duration,
+    /// Admission control: maximum concurrent sessions. A connection beyond
+    /// the cap is answered with a typed `BUSY` error frame and closed.
+    /// `None` (the default) accepts everything.
+    pub max_sessions: Option<u64>,
+    /// How long [`Server::shutdown`] waits for in-flight connections to
+    /// finish their current block (and send the `SERVER_SHUTDOWN` frame)
+    /// before forcibly interrupting their sockets.
+    pub drain_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -60,6 +82,8 @@ impl Default for ServerConfig {
         Self {
             read_timeout: Duration::from_secs(30),
             write_timeout: Duration::from_secs(30),
+            max_sessions: None,
+            drain_timeout: Duration::from_secs(1),
         }
     }
 }
@@ -72,6 +96,9 @@ struct Counters {
     active: AtomicU64,
     blocks_sent: AtomicU64,
     error_frames: AtomicU64,
+    resumed_sessions: AtomicU64,
+    /// Error frames broken down by wire code (index = code, slot 0 unused).
+    errors_by_code: [AtomicU64; ERROR_CODE_SLOTS],
 }
 
 /// A point-in-time snapshot of the server's counters.
@@ -85,8 +112,25 @@ pub struct ServerStats {
     pub blocks_sent: u64,
     /// Error frames written since bind.
     pub error_frames: u64,
+    /// Sessions that resumed at a non-zero v2 cursor since bind.
+    pub resumed_sessions: u64,
+    /// Error frames broken down by wire code: `errors_by_code[code]` for
+    /// codes `1..=12` (slot 0 is unused); see [`ServerStats::error_count`].
+    pub errors_by_code: [u64; ERROR_CODE_SLOTS],
     /// Live fleet subscriptions (one per streaming connection).
     pub subscribers: usize,
+}
+
+impl ServerStats {
+    /// Error frames sent under wire code `code` (see
+    /// [`crate::protocol::code`]); zero for out-of-range codes.
+    #[must_use]
+    pub fn error_count(&self, code: u16) -> u64 {
+        self.errors_by_code
+            .get(usize::from(code))
+            .copied()
+            .unwrap_or(0)
+    }
 }
 
 /// State shared between the accept thread, the connection threads and the
@@ -200,11 +244,17 @@ impl Server {
     #[must_use]
     pub fn stats(&self) -> ServerStats {
         let c = &self.shared.counters;
+        let mut errors_by_code = [0u64; ERROR_CODE_SLOTS];
+        for (slot, counter) in errors_by_code.iter_mut().zip(&c.errors_by_code) {
+            *slot = counter.load(Ordering::Relaxed);
+        }
         ServerStats {
             accepted: c.accepted.load(Ordering::Relaxed),
             active: c.active.load(Ordering::Relaxed),
             blocks_sent: c.blocks_sent.load(Ordering::Relaxed),
             error_frames: c.error_frames.load(Ordering::Relaxed),
+            resumed_sessions: c.resumed_sessions.load(Ordering::Relaxed),
+            errors_by_code,
             subscribers: self.shared.fleet_read().subscriber_count(),
         }
     }
@@ -231,15 +281,23 @@ impl Server {
         let _ = Conn::connect(&self.local_addr, Duration::from_secs(1));
         accept.join().expect("accept thread panicked");
 
-        // Interrupt every connection thread still blocked on its socket,
-        // then join them all.
+        // Drain: connection threads observe the shutdown flag at their next
+        // block boundary, finish the block in flight, send the
+        // SERVER_SHUTDOWN frame and exit on their own. Only sockets still
+        // blocked after the drain window are forcibly interrupted.
         let mut entries = self
             .connections
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
+        let deadline = Instant::now() + self.shared.config.drain_timeout;
+        while !entries.iter().all(|e| e.join.is_finished()) && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
         for entry in entries.iter() {
-            if let Some(socket) = &entry.socket {
-                socket.shutdown_both();
+            if !entry.join.is_finished() {
+                if let Some(socket) = &entry.socket {
+                    socket.shutdown_both();
+                }
             }
         }
         for entry in entries.drain(..) {
@@ -317,19 +375,26 @@ impl Drop for ActiveGuard<'_> {
     }
 }
 
-/// Reads the fixed-size request header and the scenario name.
+/// Reads the fixed-size request header, the v2 cursor when present, and
+/// the scenario name.
 fn read_request(conn: &mut Conn, wire: &mut Vec<u8>) -> Result<Request, ServeError> {
     let mut header = [0u8; REQUEST_HEADER_LEN];
     conn.read_exact(&mut header)?;
-    let (seed, blocks, name_len) = decode_request_header(&header)?;
+    let head = decode_request_header(&header)?;
     wire.clear();
-    wire.resize(name_len, 0);
+    wire.resize(head.trailing_len(), 0);
     conn.read_exact(wire)?;
-    let scenario = decode_request_name(wire)?.to_string();
+    let cursor = if head.cursor_len() == 0 {
+        0
+    } else {
+        decode_request_cursor(wire, head.blocks)?
+    };
+    let scenario = decode_request_name(&wire[head.cursor_len()..])?.to_string();
     Ok(Request {
         scenario,
-        seed,
-        blocks,
+        seed: head.seed,
+        blocks: head.blocks,
+        cursor,
     })
 }
 
@@ -342,6 +407,13 @@ fn read_request(conn: &mut Conn, wire: &mut Vec<u8>) -> Result<Request, ServeErr
 /// then a bounded drain of whatever the client had in flight.
 fn send_error_frame(conn: &mut Conn, wire: &mut Vec<u8>, shared: &Shared, error: &ProtocolError) {
     shared.counters.error_frames.fetch_add(1, Ordering::Relaxed);
+    if let Some(counter) = shared
+        .counters
+        .errors_by_code
+        .get(usize::from(error.code()))
+    {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
     wire.clear();
     encode_error_frame(wire, error);
     let _ = conn.write_all(wire);
@@ -357,10 +429,19 @@ fn send_error_frame(conn: &mut Conn, wire: &mut Vec<u8>, shared: &Shared, error:
     }
 }
 
-/// Drives one connection from request to end frame. Every exit path either
-/// sent an error frame or finished the stream; the fleet subscription is
-/// always released.
+/// Drives one connection from request to end frame, then closes the
+/// socket for real: the shutdown registry holds a clone of it, so merely
+/// dropping our handle would leave the peer hanging without an
+/// end-of-stream until the registry entry is reaped.
 fn serve_connection(shared: &Shared, mut conn: Conn) {
+    serve_session(shared, &mut conn);
+    conn.shutdown_both();
+}
+
+/// One session from request to end frame. Every exit path either sent an
+/// error frame or finished the stream; the fleet subscription is always
+/// released.
+fn serve_session(shared: &Shared, conn: &mut Conn) {
     let _active = ActiveGuard::new(&shared.counters);
     if conn
         .set_timeouts(
@@ -376,13 +457,35 @@ fn serve_connection(shared: &Shared, mut conn: Conn) {
     // frame it ever sends — steady-state writes reuse its capacity.
     let mut wire: Vec<u8> = Vec::new();
 
-    let request = match read_request(&mut conn, &mut wire) {
-        Ok(request) => request,
-        Err(ServeError::Protocol(e)) => {
-            send_error_frame(&mut conn, &mut wire, shared, &e);
+    // Admission control: the guard above already counted this connection,
+    // so the gauge exceeding the cap means we are the one over the line.
+    // Answered before reading the request — the refusal must not wait on a
+    // slow sender (the error-frame close sequence drains what it did send).
+    if let Some(max) = shared.config.max_sessions {
+        let active = shared.counters.active.load(Ordering::Relaxed);
+        if active > max {
+            send_error_frame(
+                conn,
+                &mut wire,
+                shared,
+                &ProtocolError::Busy { active, max },
+            );
             return;
         }
-        // Closed or timed-out before a full request: nothing to answer.
+    }
+
+    let request = match read_request(conn, &mut wire) {
+        Ok(request) => request,
+        Err(ServeError::Protocol(e)) => {
+            send_error_frame(conn, &mut wire, shared, &e);
+            return;
+        }
+        // Idle deadline: the client sat on the connection without
+        // completing a request within `read_timeout`. Whether the timed-out
+        // read surfaces as WouldBlock or TimedOut is platform-dependent, so
+        // the check goes through the one `is_timeout` predicate.
+        Err(ServeError::Io(e)) if crate::net::is_timeout(&e) => return,
+        // Closed or failed before a full request: nothing to answer.
         Err(_) => return,
     };
 
@@ -393,14 +496,14 @@ fn serve_connection(shared: &Shared, mut conn: Conn) {
                 name,
                 suggestion: suggestion.map(str::to_string),
             };
-            send_error_frame(&mut conn, &mut wire, shared, &e);
+            send_error_frame(conn, &mut wire, shared, &e);
             return;
         }
         Err(other) => {
             let e = ProtocolError::ScenarioRejected {
                 message: other.to_string(),
             };
-            send_error_frame(&mut conn, &mut wire, shared, &e);
+            send_error_frame(conn, &mut wire, shared, &e);
             return;
         }
     };
@@ -411,12 +514,33 @@ fn serve_connection(shared: &Shared, mut conn: Conn) {
             let e = ProtocolError::ScenarioRejected {
                 message: e.to_string(),
             };
-            send_error_frame(&mut conn, &mut wire, shared, &e);
+            send_error_frame(conn, &mut wire, shared, &e);
             return;
         }
     };
 
-    stream_blocks(shared, &mut conn, &mut wire, key, scenario, &request);
+    // v2 resume: fast-forward the fresh subscription past the cursor by
+    // replaying only its RNG draws (no IDFT/coloring work), so the blocks
+    // streamed below are bit-identical to `cursor..` of the uninterrupted
+    // stream.
+    if request.cursor > 0 {
+        if shared
+            .fleet_read()
+            .skip_subscriber_blocks(key, request.cursor)
+            .is_err()
+        {
+            // Stale key this early can only mean shutdown raced us.
+            send_error_frame(conn, &mut wire, shared, &ProtocolError::ServerShutdown);
+            shared.fleet_write().unsubscribe(key);
+            return;
+        }
+        shared
+            .counters
+            .resumed_sessions
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    stream_blocks(shared, conn, &mut wire, key, scenario, &request);
     shared.fleet_write().unsubscribe(key);
 }
 
@@ -444,7 +568,11 @@ fn stream_blocks(
             send_error_frame(conn, wire, shared, &ProtocolError::ServerShutdown);
             return;
         }
-        let index = sent;
+        // Wire block indices are absolute stream positions: a resumed
+        // stream labels its frames `cursor..cursor + blocks`, so a client
+        // stitching runs together can verify continuity. The decode-time
+        // cursor validation guarantees this fits u32.
+        let index = u32::try_from(request.cursor + u64::from(sent)).unwrap_or(u32::MAX);
         let encoded = shared.fleet_read().advance_subscriber_with(key, |block| {
             wire.clear();
             encode_block_frame(wire, index, block);

@@ -1,0 +1,240 @@
+//! Fault-injection integration tests: a [`ResumingStream`] read through a
+//! [`ChaosProxy`] — partial writes, short reads, stalls, truncations and
+//! abrupt disconnects — must deliver the exact bit pattern of a fault-free
+//! standalone run, on both transports. A killed-and-rebound server must be
+//! equally invisible to the consumer.
+
+use std::time::Duration;
+
+use corrfade::{ChannelStream, SampleBlock};
+use corrfade_scenarios::lookup;
+use corrfade_serve::{
+    ChaosProxy, ChaosSchedule, ResumingStream, RetryPolicy, ServeAddr, Server, ServerConfig,
+};
+
+const SCENARIO: &str = "two-envelope-complex";
+const SEED: u64 = 0xFA57_F0E5;
+
+fn tcp_addr() -> ServeAddr {
+    ServeAddr::Tcp("127.0.0.1:0".parse().unwrap())
+}
+
+#[cfg(unix)]
+fn unix_addr(tag: &str) -> ServeAddr {
+    ServeAddr::Unix(
+        std::env::temp_dir().join(format!("corrfade-chaos-{tag}-{}.sock", std::process::id())),
+    )
+}
+
+/// A policy with a pinned jitter seed so every run retries on the same
+/// schedule, and a budget comfortably above the chaos fault count.
+fn pinned_policy() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 32,
+        initial_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(20),
+        io_timeout: Duration::from_secs(10),
+        jitter_seed: Some(0xBAC0_FF5E),
+    }
+}
+
+/// Bit pattern of a block, for exact comparisons.
+fn bits(block: &SampleBlock) -> Vec<u64> {
+    block
+        .as_slice()
+        .iter()
+        .flat_map(|z| [z.re.to_bits(), z.im.to_bits()])
+        .collect()
+}
+
+/// Streams `blocks` blocks of `SCENARIO` standalone, as bit patterns.
+fn standalone(blocks: u32) -> Vec<Vec<u64>> {
+    let mut stream = lookup(SCENARIO).unwrap().build_realtime(SEED).unwrap();
+    let mut block = SampleBlock::empty();
+    (0..blocks)
+        .map(|_| {
+            stream.next_block_into(&mut block).unwrap();
+            bits(&block)
+        })
+        .collect()
+}
+
+/// Drains `stream` to completion, returning `(absolute_index, bits)` per
+/// delivered block — the indices prove no block was dropped or duplicated
+/// across reconnects.
+fn drain(stream: &mut ResumingStream) -> Vec<(u32, Vec<u64>)> {
+    let mut out = Vec::new();
+    let mut block = SampleBlock::empty();
+    while let Some(index) = stream.next_block_into(&mut block).unwrap() {
+        out.push((index, bits(&block)));
+    }
+    out
+}
+
+/// Asserts the drained stream is exactly blocks `0..blocks`, each
+/// bit-identical to the fault-free standalone run.
+fn assert_bit_exact(got: &[(u32, Vec<u64>)], blocks: u32) {
+    let reference = standalone(blocks);
+    assert_eq!(got.len(), blocks as usize, "wrong number of blocks");
+    for (at, (index, pattern)) in got.iter().enumerate() {
+        assert_eq!(*index, u32::try_from(at).unwrap(), "index gap at {at}");
+        assert_eq!(
+            pattern, &reference[at],
+            "block {at} is not bit-identical to the fault-free run"
+        );
+    }
+}
+
+/// Runs the full chaos-cut scenario against a server at `server_addr`,
+/// proxied via `proxy_addr`.
+fn chaos_cut_case(server_addr: ServeAddr, proxy_addr: ServeAddr) {
+    let server = Server::bind(server_addr, ServerConfig::default()).expect("bind server");
+    let schedule = ChaosSchedule {
+        seed: 0xD15C_0C0D,
+        max_faults: 3,
+        // Past the first full block frame (~128 KiB for this scenario):
+        // every faulted connection dies mid-stream with at least one block
+        // delivered, so the reconnect resumes at a non-zero cursor.
+        min_bytes_before_cut: 150_000,
+        max_bytes_before_cut: 350_000,
+        fragment: true,
+        stall: None,
+    };
+    let proxy = ChaosProxy::spawn(proxy_addr, server.local_addr().clone(), schedule)
+        .expect("spawn chaos proxy");
+
+    const BLOCKS: u32 = 4;
+    let mut stream =
+        ResumingStream::open(proxy.local_addr(), pinned_policy(), SCENARIO, SEED, BLOCKS)
+            .expect("open through the chaos proxy");
+    let got = drain(&mut stream);
+
+    assert_bit_exact(&got, BLOCKS);
+    assert!(
+        stream.reconnects() >= 1,
+        "the chaos schedule must have forced at least one reconnect"
+    );
+    assert_eq!(
+        proxy.faulted_connections(),
+        3,
+        "all three budgeted faults should have fired before the clean pass"
+    );
+    let stats = server.stats();
+    assert!(
+        stats.resumed_sessions >= 1,
+        "at least one reconnect must have resumed mid-stream (got {})",
+        stats.resumed_sessions
+    );
+
+    proxy.shutdown();
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn chaos_cut_streams_resume_bit_exactly_over_tcp() {
+    chaos_cut_case(tcp_addr(), tcp_addr());
+}
+
+#[cfg(unix)]
+#[test]
+fn chaos_cut_streams_resume_bit_exactly_over_unix() {
+    chaos_cut_case(unix_addr("upstream"), unix_addr("proxy"));
+}
+
+/// A proxy that stalls mid-block (hung server) is survived through the
+/// client's read timeout: the stream reconnects and still delivers the
+/// exact fault-free bits.
+#[test]
+fn stalled_connections_resume_via_the_read_timeout() {
+    let server = Server::bind(tcp_addr(), ServerConfig::default()).expect("bind server");
+    let schedule = ChaosSchedule {
+        seed: 0x57A1_1ED5,
+        max_faults: 1,
+        min_bytes_before_cut: 512,
+        max_bytes_before_cut: 2048,
+        fragment: false,
+        stall: Some(Duration::from_millis(500)),
+    };
+    let proxy = ChaosProxy::spawn(tcp_addr(), server.local_addr().clone(), schedule)
+        .expect("spawn chaos proxy");
+
+    const BLOCKS: u32 = 3;
+    let policy = RetryPolicy {
+        // Shorter than the stall: the client must classify the hang as a
+        // timeout and resume, rather than wait the stall out.
+        io_timeout: Duration::from_millis(100),
+        ..pinned_policy()
+    };
+    let mut stream = ResumingStream::open(proxy.local_addr(), policy, SCENARIO, SEED, BLOCKS)
+        .expect("open through the stalling proxy");
+    let got = drain(&mut stream);
+
+    assert_bit_exact(&got, BLOCKS);
+    assert!(
+        stream.reconnects() >= 1,
+        "the stall must have tripped the read timeout into a reconnect"
+    );
+
+    proxy.shutdown();
+    server.shutdown().unwrap();
+}
+
+/// Kill the server mid-stream, rebind a fresh one on the same address, and
+/// the consumer — without any special handling — receives every block
+/// bit-identically. This is the crash-restart story end to end.
+#[test]
+fn killed_and_rebound_servers_are_invisible_to_the_consumer() {
+    let first = Server::bind(tcp_addr(), ServerConfig::default()).expect("bind first server");
+    let addr = first.local_addr().clone();
+
+    // Enough blocks that the server cannot park the whole stream in socket
+    // buffers: the kill below lands mid-stream, not after the fact.
+    const BLOCKS: u32 = 32;
+    let mut stream = ResumingStream::open(&addr, pinned_policy(), SCENARIO, SEED, BLOCKS)
+        .expect("open against the first server");
+
+    let mut got = Vec::new();
+    let mut block = SampleBlock::empty();
+    for _ in 0..2 {
+        let index = stream
+            .next_block_into(&mut block)
+            .unwrap()
+            .expect("stream ended early");
+        got.push((index, bits(&block)));
+    }
+
+    // Kill the first server while the stream is mid-flight, then rebind on
+    // the very same address (retry while the OS releases the port).
+    first.shutdown().unwrap();
+    let second = {
+        let mut attempt = 0;
+        loop {
+            match Server::bind(addr.clone(), ServerConfig::default()) {
+                Ok(server) => break server,
+                Err(e) if attempt < 100 => {
+                    attempt += 1;
+                    let _ = e;
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => panic!("rebinding {addr} failed: {e}"),
+            }
+        }
+    };
+
+    got.extend(drain(&mut stream));
+    assert_bit_exact(&got, BLOCKS);
+    assert!(
+        stream.reconnects() >= 1,
+        "the kill must have forced a reconnect"
+    );
+    let stats = second.stats();
+    assert_eq!(
+        stats.resumed_sessions, 1,
+        "the rebound server should have served exactly one resume"
+    );
+    assert!(
+        stats.blocks_sent < u64::from(BLOCKS),
+        "the resumed session must have skipped the already-delivered prefix"
+    );
+    second.shutdown().unwrap();
+}

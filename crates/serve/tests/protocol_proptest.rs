@@ -11,8 +11,10 @@
 use proptest::prelude::*;
 
 use corrfade_serve::protocol::{
-    decode_block_payload, decode_frame_payload, decode_request, encode_frame, encode_request,
-    split_frame, Frame, Request, MAX_NAME_LEN,
+    code, decode_block_payload, decode_frame_payload, decode_request, decode_request_cursor,
+    decode_request_header, encode_error_frame_raw, encode_frame, encode_request,
+    encode_request_versioned, split_frame, Frame, ProtocolError, Request, MAX_NAME_LEN,
+    REQUEST_CURSOR_LEN, REQUEST_HEADER_LEN, VERSION_V2,
 };
 
 /// Maps arbitrary bytes onto printable ASCII so generated strings are
@@ -79,17 +81,126 @@ proptest! {
         prop_assert_eq!(got_bytes, &bytes[..]);
     }
 
-    /// Requests round-trip for every legal scenario-name length.
+    /// Requests round-trip for every legal scenario-name length. A zero
+    /// cursor encodes as wire v1, a non-zero one as a v2 resume; both
+    /// decode back to the identical request.
     #[test]
     fn requests_round_trip(
         name_bytes in proptest::collection::vec(0u8..=255, 1..=MAX_NAME_LEN),
         seed in 0u64..=u64::MAX,
         blocks in 0u32..=u32::MAX,
+        cursor in 0u64..=u64::MAX,
     ) {
-        let request = Request { scenario: ascii(&name_bytes), seed, blocks };
+        // Keep the resumed span within the u32 wire index space, which is
+        // the only legal region (the hostile test covers the rest).
+        let cursor = cursor % (u64::from(u32::MAX) - u64::from(blocks) + 1);
+        let request = Request { scenario: ascii(&name_bytes), seed, blocks, cursor };
         let mut wire = Vec::new();
         encode_request(&request, &mut wire);
         prop_assert_eq!(decode_request(&wire).unwrap(), request);
+    }
+
+    /// The explicit v2 encoding round-trips for every cursor, including 0,
+    /// and the streaming header/cursor decoders agree with the one-shot
+    /// decoder.
+    #[test]
+    fn v2_requests_round_trip(
+        name_bytes in proptest::collection::vec(0u8..=255, 1..=MAX_NAME_LEN),
+        seed in 0u64..=u64::MAX,
+        blocks in 0u32..=u32::MAX,
+        cursor in 0u64..=u64::MAX,
+    ) {
+        let cursor = cursor % (u64::from(u32::MAX) - u64::from(blocks) + 1);
+        let request = Request { scenario: ascii(&name_bytes), seed, blocks, cursor };
+        let mut wire = Vec::new();
+        encode_request_versioned(&request, 0, VERSION_V2, &mut wire);
+        prop_assert_eq!(decode_request(&wire).unwrap(), request.clone());
+        let head = decode_request_header(&wire).unwrap();
+        prop_assert_eq!(head.version, VERSION_V2);
+        prop_assert_eq!(head.cursor_len(), REQUEST_CURSOR_LEN);
+        prop_assert_eq!(
+            decode_request_cursor(&wire[REQUEST_HEADER_LEN..], head.blocks).unwrap(),
+            cursor
+        );
+    }
+
+    /// Hostile cursors: any `(cursor, blocks)` pair either decodes to the
+    /// exact cursor or earns a typed error — overflowing spans are
+    /// rejected, never wrapped into the u32 wire index space.
+    #[test]
+    fn hostile_cursors_never_panic_or_wrap(
+        cursor in 0u64..=u64::MAX,
+        blocks in 0u32..=u32::MAX,
+        short in 0usize..REQUEST_CURSOR_LEN,
+    ) {
+        match decode_request_cursor(&cursor.to_le_bytes(), blocks) {
+            Ok(got) => {
+                prop_assert_eq!(got, cursor);
+                prop_assert!(cursor + u64::from(blocks) <= u64::from(u32::MAX));
+            }
+            Err(ProtocolError::Oversized { .. }) => {
+                prop_assert!(
+                    cursor.checked_add(u64::from(blocks))
+                        .is_none_or(|end| end > u64::from(u32::MAX))
+                );
+            }
+            Err(other) => prop_assert!(false, "unexpected error {other:?}"),
+        }
+        // A truncated cursor field is always the typed truncation error.
+        prop_assert!(matches!(
+            decode_request_cursor(&cursor.to_le_bytes()[..short], blocks),
+            Err(ProtocolError::Truncated { .. })
+        ));
+    }
+
+    /// Truncating or bit-flipping a valid v2 resume request never panics
+    /// the request decoders; every outcome is `Ok` or a typed error.
+    #[test]
+    fn mutated_v2_requests_never_panic(
+        name_bytes in proptest::collection::vec(0u8..=255, 1..=MAX_NAME_LEN),
+        cursor in 0u64..=u64::MAX,
+        cut in 0usize..=usize::MAX,
+        flip_at in 0usize..=usize::MAX,
+        flip_bits in 1u8..=255,
+    ) {
+        let request = Request {
+            scenario: ascii(&name_bytes),
+            seed: 7,
+            blocks: 3,
+            cursor: cursor % 1_000_000,
+        };
+        let mut wire = Vec::new();
+        encode_request_versioned(&request, 0, VERSION_V2, &mut wire);
+
+        let _ = decode_request(&wire[..cut % (wire.len() + 1)]);
+
+        let at = flip_at % wire.len();
+        wire[at] ^= flip_bits;
+        let _ = decode_request(&wire);
+        let _ = decode_request_header(&wire);
+    }
+
+    /// `BUSY` error frames round-trip like every other code, and arbitrary
+    /// `(code, message)` pairs — hostile codes included — survive the
+    /// error-frame encoder/decoder exactly.
+    #[test]
+    fn busy_and_arbitrary_error_frames_round_trip(
+        raw_code in 0u16..=u16::MAX,
+        msg_bytes in proptest::collection::vec(0u8..=255, 0..128),
+        pick_busy in 0u8..2,
+    ) {
+        let code = if pick_busy == 1 { code::BUSY } else { raw_code };
+        let message = ascii(&msg_bytes);
+        let mut wire = Vec::new();
+        encode_error_frame_raw(&mut wire, code, &message);
+        let (payload, consumed) = split_frame(&wire).unwrap();
+        prop_assert_eq!(consumed, wire.len());
+        let Frame::Error { code: got_code, message: got_message } =
+            decode_frame_payload(payload).unwrap() else {
+            panic!("expected an error frame");
+        };
+        prop_assert_eq!(got_code, code);
+        prop_assert_eq!(got_message, message);
     }
 
     /// Arbitrary garbage never panics any decoder.

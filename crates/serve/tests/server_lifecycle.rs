@@ -17,6 +17,11 @@ use corrfade_serve::protocol::{
 };
 use corrfade_serve::{Client, Conn, ServeAddr, ServeError, Server, ServerConfig};
 
+fn tcp_server_with(config: ServerConfig) -> Server {
+    Server::bind(ServeAddr::Tcp("127.0.0.1:0".parse().unwrap()), config)
+        .expect("binding an ephemeral loopback port")
+}
+
 fn tcp_server() -> Server {
     Server::bind(
         ServeAddr::Tcp("127.0.0.1:0".parse().unwrap()),
@@ -107,6 +112,12 @@ fn concurrent_clients_get_independent_deterministic_streams() {
     assert_eq!(stats.accepted, 6);
     assert_eq!(stats.blocks_sent, 18);
     assert_eq!(stats.error_frames, 0);
+    assert_eq!(stats.resumed_sessions, 0, "no v2 resumes happened");
+    assert_eq!(
+        stats.errors_by_code.iter().sum::<u64>(),
+        0,
+        "no per-code errors on the happy path"
+    );
     server.shutdown().unwrap();
 }
 
@@ -160,6 +171,7 @@ fn protocol_errors_arrive_as_typed_frames() {
             scenario: "two-envelope-complex".into(),
             seed: 1,
             blocks: 1,
+            cursor: 0,
         },
         &mut request,
     );
@@ -189,9 +201,21 @@ fn protocol_errors_arrive_as_typed_frames() {
     };
     assert_eq!(c, code::BAD_MAGIC);
 
-    // Each rejected request was counted, and none left a subscription.
+    // Each rejected request was counted — totals and exact per-code
+    // breakdown — and none left a subscription.
     wait_until("error-frame counters", || server.stats().error_frames == 3);
-    assert_eq!(server.stats().subscribers, 0);
+    let stats = server.stats();
+    assert_eq!(stats.error_count(code::UNKNOWN_SCENARIO), 1);
+    assert_eq!(stats.error_count(code::UNSUPPORTED_VERSION), 1);
+    assert_eq!(stats.error_count(code::BAD_MAGIC), 1);
+    assert_eq!(
+        stats.errors_by_code.iter().sum::<u64>(),
+        3,
+        "no error was counted under any other code: {:?}",
+        stats.errors_by_code
+    );
+    assert_eq!(stats.error_count(code::BUSY), 0);
+    assert_eq!(stats.subscribers, 0);
     server.shutdown().unwrap();
 }
 
@@ -210,6 +234,7 @@ fn f32_stream_requests_get_a_typed_precision_error_frame() {
             scenario: "two-envelope-complex".into(),
             seed: 1,
             blocks: 1,
+            cursor: 0,
         },
         FLAG_F32_STREAM,
         &mut request,
@@ -229,7 +254,119 @@ fn f32_stream_requests_get_a_typed_precision_error_frame() {
     );
 
     wait_until("error-frame counter", || server.stats().error_frames == 1);
+    assert_eq!(server.stats().error_count(code::PRECISION_UNSUPPORTED), 1);
     assert_eq!(server.stats().subscribers, 0);
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn resumed_sessions_are_bit_identical_and_counted() {
+    let server = tcp_server();
+    let addr = server.local_addr().clone();
+    let full = standalone("two-envelope-complex", 21, 7);
+
+    // A v2 resume at cursor 3 delivers exactly blocks 3..7 of the
+    // uninterrupted stream, with absolute wire indices.
+    let mut client = Client::connect(&addr).unwrap();
+    let header = client
+        .subscribe_at("two-envelope-complex", 21, 4, 3)
+        .unwrap();
+    assert_eq!(header.blocks, 4);
+    let mut block = SampleBlock::empty();
+    for expect in 3..7u32 {
+        assert_eq!(client.next_block_into(&mut block).unwrap(), Some(expect));
+        assert_eq!(
+            bits(&block),
+            full[expect as usize],
+            "resumed block {expect} is not bit-identical to the uninterrupted stream"
+        );
+    }
+    assert_eq!(client.next_block_into(&mut block).unwrap(), None);
+
+    // A cursor-0 subscribe stays a v1 request and does not count.
+    let mut fresh = Client::connect(&addr).unwrap();
+    fresh.subscribe("two-envelope-complex", 21, 1).unwrap();
+    fresh.collect_blocks().unwrap();
+
+    wait_until("subscriptions released", || server.stats().subscribers == 0);
+    let stats = server.stats();
+    assert_eq!(stats.resumed_sessions, 1);
+    assert_eq!(stats.blocks_sent, 5);
+    assert_eq!(stats.error_frames, 0);
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn admission_control_answers_busy_and_counts_it() {
+    let server = tcp_server_with(ServerConfig {
+        max_sessions: Some(1),
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr().clone();
+
+    // First session occupies the only slot mid-stream.
+    let mut holder = Client::connect(&addr).unwrap();
+    holder.subscribe("two-envelope-complex", 1, 1000).unwrap();
+    let mut block = SampleBlock::empty();
+    holder.next_block_into(&mut block).unwrap();
+    wait_until("holder session active", || server.stats().active == 1);
+
+    // Second session is refused with the typed BUSY frame.
+    let mut second = Client::connect(&addr).unwrap();
+    let err = second.subscribe("two-envelope-complex", 2, 1).unwrap_err();
+    let ServeError::Server { code: c, message } = err else {
+        panic!("expected a BUSY server frame, got {err}");
+    };
+    assert_eq!(c, code::BUSY);
+    assert!(
+        message.contains("capacity"),
+        "BUSY message should say why: {message}"
+    );
+    assert!(corrfade_serve::is_resumable(&ServeError::Server {
+        code: c,
+        message,
+    }));
+
+    // The refusal is counted under its own code and took no subscription.
+    wait_until("busy counter", || {
+        server.stats().error_count(code::BUSY) == 1
+    });
+    assert_eq!(server.stats().subscribers, 1, "only the holder subscribes");
+
+    // Once the slot frees up, the same client address is admitted again.
+    drop(holder);
+    wait_until("slot released", || server.stats().active == 0);
+    let mut third = Client::connect(&addr).unwrap();
+    third.subscribe("two-envelope-complex", 3, 1).unwrap();
+    assert_eq!(third.collect_blocks().unwrap().len(), 1);
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn idle_connections_are_dropped_at_the_read_deadline() {
+    let server = tcp_server_with(ServerConfig {
+        read_timeout: Duration::from_millis(100),
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr().clone();
+
+    // Connect and send nothing: the server must drop us at the idle
+    // deadline (no error frame — there is no request to answer) instead of
+    // holding the connection open.
+    let mut idler = Conn::connect(&addr, Duration::from_secs(10)).unwrap();
+    let mut buf = [0u8; 16];
+    let started = Instant::now();
+    let n = idler.read(&mut buf).unwrap_or(0);
+    assert_eq!(n, 0, "idle connection should close without any frame");
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "the idle deadline should fire well before the client timeout"
+    );
+
+    wait_until("idle connection reaped", || server.stats().active == 0);
+    let stats = server.stats();
+    assert_eq!(stats.accepted, 1);
+    assert_eq!(stats.error_frames, 0);
     server.shutdown().unwrap();
 }
 
